@@ -1,0 +1,10 @@
+"""Ablation: min_benefit (K) sweep.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_ablation_min_benefit(run_and_report):
+    """Regenerate ablation-min-benefit and report its table."""
+    result = run_and_report("ablation-min-benefit")
+    assert result.rows, "experiment produced no rows"

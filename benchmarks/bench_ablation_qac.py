@@ -1,0 +1,10 @@
+"""Ablation: QAC bucket boundaries (Table 5).
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_ablation_qac(run_and_report):
+    """Regenerate ablation-qac and report its table."""
+    result = run_and_report("ablation-qac")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,10 @@
+"""Ablation: RSM smoothing alpha.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_ablation_rsm_alpha(run_and_report):
+    """Regenerate ablation-rsm-alpha and report its table."""
+    result = run_and_report("ablation-rsm-alpha")
+    assert result.rows, "experiment produced no rows"

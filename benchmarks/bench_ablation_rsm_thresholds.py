@@ -1,0 +1,10 @@
+"""Ablation: ProFess hysteresis and Case 3.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_ablation_rsm_thresholds(run_and_report):
+    """Regenerate ablation-rsm-thresholds and report its table."""
+    result = run_and_report("ablation-rsm-thresholds")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Extension: the full Table 2 policy cast on one contended workload.
+
+CAMEO, SILC-FM, MemPod, PoM, RSM-PoM, MDM, and ProFess under identical conditions.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_ext_policy_matrix(run_and_report):
+    """Regenerate ext-policy-matrix and report its table."""
+    result = run_and_report("ext-policy-matrix")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,14 @@
+"""Extension: robustness of ProFess vs PoM on random program mixes.
+
+Beyond the paper: random mixes sampled by memory-intensity class check
+that the fairness and weighted-speedup improvements are not artifacts of
+Table 10's particular compositions.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_ext_random_mixes(run_and_report):
+    """Regenerate ext-random-mixes and report its table."""
+    result = run_and_report("ext-random-mixes")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Extension: decomposing ProFess into RSM guidance and MDM cost-benefit.
+
+Beyond the paper: quantifies Section 6's claim that RSM composes with other migration algorithms.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_ext_rsm_pom(run_and_report):
+    """Regenerate ext-rsm-pom and report its table."""
+    result = run_and_report("ext-rsm-pom")
+    assert result.rows, "experiment produced no rows"

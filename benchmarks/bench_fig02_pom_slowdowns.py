@@ -1,0 +1,12 @@
+"""Figure 2: per-program slowdowns under PoM for w09/w16/w19.
+
+Shape target: visible slowdown divergence within each mix.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig2(run_and_report):
+    """Regenerate fig2 and report its table."""
+    result = run_and_report("fig2")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 6: M1-served fraction of MDM normalized to PoM.
+
+Shape target: higher fractions track higher performance except irregular programs.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig6(run_and_report):
+    """Regenerate fig6 and report its table."""
+    result = run_and_report("fig6")
+    assert result.rows, "experiment produced no rows"

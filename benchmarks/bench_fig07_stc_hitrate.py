@@ -1,0 +1,12 @@
+"""Figure 7: STC hit rates under MDM.
+
+Shape target: omnetpp lowest, mcf below the regular programs.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig7(run_and_report):
+    """Regenerate fig7 and report its table."""
+    result = run_and_report("fig7")
+    assert result.rows, "experiment produced no rows"

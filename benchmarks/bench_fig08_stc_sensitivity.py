@@ -1,0 +1,12 @@
+"""Figure 8: MDM IPC sensitivity to STC size.
+
+Shape target: mostly flat; irregular programs lose with a half-size STC.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig8(run_and_report):
+    """Regenerate fig8 and report its table."""
+    result = run_and_report("fig8")
+    assert result.rows, "experiment produced no rows"

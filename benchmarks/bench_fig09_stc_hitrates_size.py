@@ -1,0 +1,12 @@
+"""Figure 9: STC hit rates vs STC size.
+
+Shape target: hit rates grow (weakly) with STC size.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig9(run_and_report):
+    """Regenerate fig9 and report its table."""
+    result = run_and_report("fig9")
+    assert result.rows, "experiment produced no rows"

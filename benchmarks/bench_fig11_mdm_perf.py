@@ -1,0 +1,12 @@
+"""Figure 11: weighted speedup of MDM normalized to PoM.
+
+Shape target: above 1.0 on average (paper: +7%).
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig11(run_and_report):
+    """Regenerate fig11 and report its table."""
+    result = run_and_report("fig11")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 12: energy efficiency of MDM normalized to PoM.
+
+Shape target: above 1.0 on average (paper: +7%).
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig12(run_and_report):
+    """Regenerate fig12 and report its table."""
+    result = run_and_report("fig12")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 13: max slowdown of ProFess normalized to PoM.
+
+Shape target: below 1.0 on average and below MDM's ratio (paper: -15%, up to -29%).
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig13(run_and_report):
+    """Regenerate fig13 and report its table."""
+    result = run_and_report("fig13")
+    assert result.rows, "experiment produced no rows"

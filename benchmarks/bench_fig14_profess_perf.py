@@ -1,0 +1,12 @@
+"""Figure 14: weighted speedup of ProFess normalized to PoM.
+
+Shape target: above 1.0 on average (paper: +12%, up to +29%).
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig14(run_and_report):
+    """Regenerate fig14 and report its table."""
+    result = run_and_report("fig14")
+    assert result.rows, "experiment produced no rows"

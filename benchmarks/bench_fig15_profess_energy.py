@@ -1,0 +1,12 @@
+"""Figure 15: energy efficiency of ProFess normalized to PoM.
+
+Shape target: above 1.0 on average (paper: +11%).
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig15(run_and_report):
+    """Regenerate fig15 and report its table."""
+    result = run_and_report("fig15")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 16: per-program slowdowns under PoM/MDM/ProFess.
+
+Shape target: ProFess trades light programs' speed for the most-suffering ones.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_fig16(run_and_report):
+    """Regenerate fig16 and report its table."""
+    result = run_and_report("fig16")
+    assert result.rows, "experiment produced no rows"

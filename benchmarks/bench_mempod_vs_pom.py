@@ -1,0 +1,12 @@
+"""Section 2.5: MemPod AMMAT vs PoM.
+
+Shape target: MemPod's AMMAT is longer than PoM's in this technology setting.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_mempod_vs_pom(run_and_report):
+    """Regenerate mempod-vs-pom and report its table."""
+    result = run_and_report("mempod-vs-pom")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Section 5.2: sensitivity to the M1:M2 capacity ratio.
+
+Shape target: 1:4 shrinks the advantage; 1:16 keeps or grows it.
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_sens_ratio(run_and_report):
+    """Regenerate sens-ratio and report its table."""
+    result = run_and_report("sens-ratio")
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Section 5.2: sensitivity to M2 write latency.
+
+Shape target: MDM's advantage grows with tWR_M2 (paper: 12% / 14% / 18%).
+
+Regenerates the artifact at benchmark scale and prints the table for
+row-by-row comparison with the paper (see EXPERIMENTS.md).
+"""
+
+def test_sens_twr(run_and_report):
+    """Regenerate sens-twr and report its table."""
+    result = run_and_report("sens-twr")
+    assert result.rows, "experiment produced no rows"

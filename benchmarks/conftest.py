@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`ExperimentRunner` is shared across every benchmark in the
+session, so the 19-workload sweep behind Figures 10-15 is simulated once
+and each figure's bench reads its metric from the cache — mirroring how
+the paper derives several figures from one set of runs.
+
+Benchmarks run at ``BENCH_SCALE`` (capacity divisor 128 -> 2-MB total M1)
+with short traces so the full suite completes in minutes; the experiment
+CLI (``profess run all``) reproduces the same artifacts at larger scale.
+Each bench prints the regenerated table so the output can be diffed
+against the paper row by row (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+BENCH_SCALE = 128
+BENCH_MULTI_REQUESTS = 5_000
+BENCH_SINGLE_REQUESTS = 6_000
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide cached experiment runner."""
+    return ExperimentRunner(
+        scale=BENCH_SCALE,
+        multi_requests=BENCH_MULTI_REQUESTS,
+        single_requests=BENCH_SINGLE_REQUESTS,
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def run_and_report(benchmark, runner):
+    """Pedantic single-round run of one experiment; prints its table."""
+    from repro.experiments.registry import run_experiment
+
+    def _run(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id, runner),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        return result
+
+    return _run

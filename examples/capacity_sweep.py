@@ -1,0 +1,58 @@
+"""Capacity-pressure sweep: how the M1:M2 ratio changes what management
+is worth (Section 5.2's sensitivity, as a runnable study).
+
+Holds M2 capacity and program footprints fixed while M1 shrinks from a
+1:4 system (roomy) to 1:16 (starved), and reports ProFess vs PoM fairness
+and performance at each point.  Expected shape (end of Section 5):
+more M1 -> less competition -> smaller improvements; less M1 -> more
+competition -> larger improvements.
+
+Note: this demo uses short traces to stay fast, which truncates MDM's
+statistics-learning period and RSM's sampling history, so the per-point
+numbers understate steady-state gains (the full-length sweep behind
+Figures 13-15 — ``profess run fig13`` — shows ProFess ahead of PoM).
+Raise REQUESTS for steady-state behaviour.
+
+Run with::
+
+    python examples/capacity_sweep.py
+"""
+
+from repro.common.config import paper_quad_core
+from repro.experiments.runner import ExperimentRunner
+
+WORKLOAD = "w12"
+BASE_SCALE = 128
+#: Short for a quick demo; raise toward 30_000+ for steady-state numbers.
+REQUESTS = 8_000
+
+
+def main() -> None:
+    runner = ExperimentRunner(
+        scale=BASE_SCALE, multi_requests=REQUESTS, single_requests=REQUESTS
+    )
+    print(f"Workload {WORKLOAD}, M2 and footprints fixed, M1 swept:\n")
+    print(
+        f"{'ratio':>6}{'pom WS':>9}{'prf WS':>9}{'WS gain':>9}"
+        f"{'pom unf':>9}{'prf unf':>9}{'unf gain':>10}"
+    )
+    for ratio in (4, 8, 16):
+        # Keep M2 constant: M2 = (M1_paper / scale) * ratio, so the scale
+        # divisor must move with the ratio (1:4 -> twice-larger M1).
+        scale = BASE_SCALE * ratio // 8
+        config = paper_quad_core(scale=scale, m2_to_m1_ratio=ratio)
+        pom = runner.workload_metrics(WORKLOAD, "pom", config=config)
+        profess = runner.workload_metrics(WORKLOAD, "profess", config=config)
+        print(
+            f"{'1:' + str(ratio):>6}"
+            f"{pom.weighted_speedup:9.3f}"
+            f"{profess.weighted_speedup:9.3f}"
+            f"{profess.weighted_speedup / pom.weighted_speedup - 1:+9.1%}"
+            f"{pom.unfairness:9.2f}"
+            f"{profess.unfairness:9.2f}"
+            f"{1 - profess.unfairness / pom.unfairness:+10.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

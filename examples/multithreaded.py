@@ -1,0 +1,65 @@
+"""Multi-threaded programs under ProFess (Section 3.1.1).
+
+The paper dedicates one private region per *program*, with all threads of
+a multi-threaded program sharing it — the RSM counter sets are looked up
+by program id, not core id.  This example runs two 2-thread programs on
+the quad-core system and shows that RSM produces exactly two slowdown-
+factor streams while ProFess still improves on PoM.
+
+Run with::
+
+    python examples/multithreaded.py
+"""
+
+from repro.common.config import paper_quad_core
+from repro.sim.engine import SimulationDriver
+from repro.traces.generator import synthesize_trace
+
+SCALE = 128
+REQUESTS = 10_000
+#: Two programs, two threads each: cores 0-1 run milc, cores 2-3 soplex.
+THREADS = ("milc", "milc", "soplex", "soplex")
+PROGRAM_OF_CORE = (0, 0, 1, 1)
+
+
+def run(policy: str):
+    config = paper_quad_core(scale=SCALE)
+    traces = [
+        (name, synthesize_trace(name, REQUESTS, scale=SCALE, seed=index))
+        for index, name in enumerate(THREADS)
+    ]
+    driver = SimulationDriver(
+        config, policy, traces, program_of_core=list(PROGRAM_OF_CORE)
+    )
+    return driver, driver.run()
+
+
+def main() -> None:
+    print(f"threads: {THREADS} -> programs {PROGRAM_OF_CORE}\n")
+    for policy in ("pom", "profess"):
+        driver, result = run(policy)
+        per_program_ipc = {}
+        for core, program in enumerate(PROGRAM_OF_CORE):
+            per_program_ipc.setdefault(program, 0.0)
+            per_program_ipc[program] += result.program(core).ipc
+        print(f"{policy}:")
+        for program, ipc in per_program_ipc.items():
+            name = THREADS[PROGRAM_OF_CORE.index(program)]
+            print(f"  program {program} ({name:7}): aggregate IPC {ipc:.3f}")
+        rsm = driver.controller.rsm
+        print(f"  RSM tracks {rsm.num_programs} programs "
+              f"({len(rsm.history)} samples)")
+        if policy == "profess":
+            for program in range(rsm.num_programs):
+                samples = [s for s in rsm.history if s.program == program]
+                if samples:
+                    last = samples[-1]
+                    print(
+                        f"  program {program}: SF_A={last.smoothed_sf_a:.3f} "
+                        f"SF_B={last.smoothed_sf_b:.3f}"
+                    )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: compare PoM and ProFess on one multiprogrammed workload.
+
+Runs the paper's w09 mix (mcf + soplex + lbm + GemsFDTD) on a scaled-down
+quad-core system under the PoM baseline and under ProFess, and prints the
+paper's figures of merit: per-program slowdowns, weighted speedup,
+unfairness (max slowdown), and memory energy efficiency.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentRunner
+from repro.workloads import WORKLOADS
+
+WORKLOAD = "w09"
+
+
+def main() -> None:
+    # scale=128 shrinks the paper's 256-MB M1 to 2 MB (and program
+    # footprints by the same factor) so this finishes in under a minute.
+    runner = ExperimentRunner(
+        scale=128, multi_requests=10_000, single_requests=10_000
+    )
+    print(f"Workload {WORKLOAD}: {' + '.join(WORKLOADS[WORKLOAD])}\n")
+
+    results = {}
+    for policy in ("pom", "profess"):
+        print(f"running {policy} (multiprogram + stand-alone references)...")
+        results[policy] = runner.workload_metrics(WORKLOAD, policy)
+
+    print()
+    header = f"{'program':12}" + "".join(
+        f"{policy + ' sdn':>14}" for policy in results
+    )
+    print(header)
+    for index, program in enumerate(WORKLOADS[WORKLOAD]):
+        row = f"{program:12}"
+        for metrics in results.values():
+            row += f"{metrics.slowdowns[index]:14.2f}"
+        print(row)
+
+    print()
+    for policy, metrics in results.items():
+        print(
+            f"{policy:8} weighted speedup={metrics.weighted_speedup:.3f}  "
+            f"unfairness={metrics.unfairness:.2f}  "
+            f"energy efficiency={metrics.energy_efficiency:,.0f} req/J  "
+            f"swap fraction={metrics.swap_fraction:.2%}"
+        )
+
+    pom, profess = results["pom"], results["profess"]
+    print(
+        f"\nProFess vs PoM: unfairness "
+        f"{profess.unfairness / pom.unfairness - 1:+.1%}, "
+        f"weighted speedup "
+        f"{profess.weighted_speedup / pom.weighted_speedup - 1:+.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

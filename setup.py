@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships a setuptools too old for PEP 660 editable
+installs from pyproject.toml alone; this shim lets
+``pip install -e . --no-build-isolation`` take the setup.py path.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

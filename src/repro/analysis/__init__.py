@@ -1,0 +1,17 @@
+"""Result rendering: ASCII tables and box-plot summaries for the
+experiment drivers and benchmark harness."""
+
+from repro.analysis.plotting import hbar_chart, sparkline
+from repro.analysis.report import (
+    format_table,
+    normalized_series_summary,
+    render_boxplot_summary,
+)
+
+__all__ = [
+    "format_table",
+    "hbar_chart",
+    "normalized_series_summary",
+    "render_boxplot_summary",
+    "sparkline",
+]

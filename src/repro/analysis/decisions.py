@@ -1,0 +1,112 @@
+"""Predictor-calibration analysis for MDM.
+
+MDM's central bet is that ``exp_cnt(q_I) - curr_cnt`` predicts how many
+more (weighted) accesses a block will receive during its current STC
+residency.  With ``MDMPolicy(record_predictions=True)`` the policy logs
+(predicted, actual) pairs; this module turns them into calibration
+statistics: bias, mean absolute error, rank correlation, and — most
+relevant to migration quality — the *decision accuracy*: how often
+``predicted >= min_benefit`` agrees with ``actual >= min_benefit``,
+i.e. whether the promote/don't-promote verdict would have been right in
+hindsight.
+
+Caveat: per-block counters saturate at 63 (6-bit, Section 4.1), so
+actuals are right-censored for very hot blocks; the calibration treats a
+saturated actual as "at least" its value, which can only understate the
+predictor's accuracy on the hot side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Summary of predicted-vs-actual remaining-access pairs."""
+
+    pairs: int
+    #: Mean (predicted - actual): positive = systematic over-prediction.
+    bias: float
+    mean_absolute_error: float
+    #: Spearman rank correlation (ordering quality is what the
+    #: cost-benefit comparisons consume).
+    rank_correlation: float
+    #: Fraction of pairs where the promote verdict at ``min_benefit``
+    #: matches hindsight.
+    decision_accuracy: float
+    #: Confusion counts at the min_benefit threshold.
+    true_promotes: int
+    false_promotes: int
+    true_skips: int
+    false_skips: int
+
+
+def _rank(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(len(values))
+    return ranks
+
+
+def calibrate(
+    pairs: Sequence[tuple[float, float]], min_benefit: float = 8.0
+) -> CalibrationReport:
+    """Build a :class:`CalibrationReport` from (predicted, actual) pairs."""
+    if not pairs:
+        raise ValueError("no prediction pairs recorded")
+    data = np.asarray(pairs, dtype=np.float64)
+    predicted, actual = data[:, 0], data[:, 1]
+    errors = predicted - actual
+    if len(pairs) >= 2 and predicted.std() > 0 and actual.std() > 0:
+        rank_corr = float(
+            np.corrcoef(_rank(predicted), _rank(actual))[0, 1]
+        )
+    else:
+        rank_corr = 0.0
+    predicted_go = predicted >= min_benefit
+    actual_go = actual >= min_benefit
+    return CalibrationReport(
+        pairs=len(pairs),
+        bias=float(errors.mean()),
+        mean_absolute_error=float(np.abs(errors).mean()),
+        rank_correlation=rank_corr,
+        decision_accuracy=float((predicted_go == actual_go).mean()),
+        true_promotes=int((predicted_go & actual_go).sum()),
+        false_promotes=int((predicted_go & ~actual_go).sum()),
+        true_skips=int((~predicted_go & ~actual_go).sum()),
+        false_skips=int((~predicted_go & actual_go).sum()),
+    )
+
+
+def calibration_by_bucket(
+    pairs: Sequence[tuple[float, float]], edges: Sequence[float] = (0, 8, 32)
+) -> list[tuple[str, int, float, float]]:
+    """Per-predicted-magnitude buckets: (label, n, mean predicted, mean actual).
+
+    Shows where the predictor is sharp (low buckets on chase traffic,
+    high buckets on hot blocks) and where it drifts.
+    """
+    if not pairs:
+        raise ValueError("no prediction pairs recorded")
+    data = np.asarray(pairs, dtype=np.float64)
+    predicted, actual = data[:, 0], data[:, 1]
+    rows = []
+    bounds = list(edges) + [float("inf")]
+    for low, high in zip(bounds, bounds[1:]):
+        mask = (predicted >= low) & (predicted < high)
+        if not mask.any():
+            continue
+        label = f"[{low:g}, {high:g})"
+        rows.append(
+            (
+                label,
+                int(mask.sum()),
+                float(predicted[mask].mean()),
+                float(actual[mask].mean()),
+            )
+        )
+    return rows

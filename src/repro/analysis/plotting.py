@@ -1,0 +1,74 @@
+"""ASCII charts for terminal reports.
+
+The paper's figures are normalized bar charts; these helpers render the
+same series as horizontal ASCII bars so experiment reports remain
+readable without a plotting stack (the environment is offline).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def hbar_chart(
+    series: Mapping[str, float],
+    width: int = 50,
+    baseline: float | None = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart of a {label: value} series.
+
+    With ``baseline`` set (e.g. 1.0 for normalized figures), bars grow
+    right for values above the baseline and left for values below it,
+    which matches how the paper's normalized charts read.
+    """
+    if not series:
+        raise ValueError("empty series")
+    labels = list(series)
+    values = [float(series[label]) for label in labels]
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if baseline is None:
+        top = max(values)
+        scale = (width / top) if top > 0 else 0.0
+        for label, value in zip(labels, values):
+            bar = "#" * max(int(value * scale), 0)
+            lines.append(
+                f"{label.ljust(label_width)} |{bar.ljust(width)} "
+                + value_format.format(value)
+            )
+        return "\n".join(lines)
+    # Diverging chart around the baseline.
+    half = width // 2
+    deviation = max(abs(value - baseline) for value in values) or 1.0
+    scale = half / deviation
+    for label, value in zip(labels, values):
+        magnitude = int(round(abs(value - baseline) * scale))
+        if value >= baseline:
+            left, right = " " * half, "#" * magnitude
+        else:
+            left = (" " * (half - magnitude)) + "#" * magnitude
+            right = ""
+        lines.append(
+            f"{label.ljust(label_width)} {left}|{right.ljust(half)} "
+            + value_format.format(value)
+        )
+    lines.append(
+        f"{' ' * label_width} {' ' * half}^ baseline "
+        + value_format.format(baseline)
+    )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend of a numeric series (8-level blocks)."""
+    if not values:
+        raise ValueError("empty series")
+    blocks = "▁▂▃▄▅▆▇█"
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[min(int((v - low) / span * 8), 7)] for v in values
+    )

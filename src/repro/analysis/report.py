@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's figures are normalized bar charts and box plots; the
+benchmark harness prints the same data as aligned tables so results can
+be compared row by row against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.common.stats import BoxplotStats, boxplot_stats, geomean
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_boxplot_summary(values: Sequence[float], label: str = "") -> str:
+    """One-line Tukey summary, the textual form of a Figure 5 box."""
+    stats: BoxplotStats = boxplot_stats(values)
+    outliers = (
+        " outliers=" + ",".join(f"{v:.3f}" for v in stats.outliers)
+        if stats.outliers
+        else ""
+    )
+    prefix = f"{label}: " if label else ""
+    return (
+        f"{prefix}min={stats.minimum:.3f} q1={stats.q1:.3f} "
+        f"med={stats.median:.3f} q3={stats.q3:.3f} max={stats.maximum:.3f} "
+        f"gmean={stats.geometric_mean:.3f}{outliers}"
+    )
+
+
+def normalized_series_summary(
+    series: Mapping[str, float], higher_is_better: bool = True
+) -> dict:
+    """Summarize a normalized-to-baseline series the way the paper does.
+
+    Returns the geometric mean and the best case with its key ("improves
+    by X% avg., up to Y% for Z").
+    """
+    if not series:
+        raise ValueError("empty series")
+    values = list(series.values())
+    gmean = geomean(values)
+    best_key = (
+        max(series, key=series.get)
+        if higher_is_better
+        else min(series, key=series.get)
+    )
+    return {
+        "geomean": gmean,
+        "average_improvement": gmean - 1.0 if higher_is_better else 1.0 - gmean,
+        "best_key": best_key,
+        "best_value": series[best_key],
+        "best_improvement": (
+            series[best_key] - 1.0
+            if higher_is_better
+            else 1.0 - series[best_key]
+        ),
+    }

@@ -1,0 +1,154 @@
+"""Generic set-associative cache array with true-LRU replacement.
+
+Used directly for the L1/L2/L3 data hierarchy and, with payloads, for the
+Swap-group Table Cache.  Keys are opaque integers (line or group numbers);
+the array does not interpret addresses beyond set indexing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Optional, TypeVar
+
+from repro.common.errors import ConfigError
+
+V = TypeVar("V")
+
+
+@dataclass
+class EvictedLine(Generic[V]):
+    """What fell out of the cache on an insertion."""
+
+    key: int
+    value: V
+    dirty: bool
+
+
+REPLACEMENT_POLICIES = ("lru", "fifo", "random")
+
+
+class SetAssociativeCache(Generic[V]):
+    """A num_sets x associativity array of (key -> value).
+
+    Each set is an OrderedDict from key to (value, dirty).  Replacement
+    is pluggable: true LRU (default — hits refresh recency), FIFO (hits
+    do not), or pseudo-random (deterministic in the seed, as a hardware
+    LFSR would be).  ``num_sets`` must be a power of two so indexing is a
+    mask, as in hardware.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        associativity: int,
+        replacement: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if num_sets < 1 or num_sets & (num_sets - 1):
+            raise ConfigError(f"num_sets must be a power of two, got {num_sets}")
+        if associativity < 1:
+            raise ConfigError("associativity must be >= 1")
+        if replacement not in REPLACEMENT_POLICIES:
+            raise ConfigError(
+                f"replacement must be one of {REPLACEMENT_POLICIES}, "
+                f"got {replacement!r}"
+            )
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.replacement = replacement
+        # Simple deterministic LFSR-style state for random replacement.
+        self._lfsr = (seed * 2654435761 + 1) & 0xFFFFFFFF
+        self._sets: list[OrderedDict[int, list]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _next_random(self) -> int:
+        # xorshift32: cheap, deterministic, hardware-plausible.
+        x = self._lfsr or 0x9E3779B9
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._lfsr = x & 0xFFFFFFFF
+        return self._lfsr
+
+    # ------------------------------------------------------------------
+    def _set_for(self, key: int) -> OrderedDict:
+        return self._sets[key & (self.num_sets - 1)]
+
+    def lookup(self, key: int, touch: bool = True) -> Optional[V]:
+        """Return the value for ``key`` or None; updates hit/miss stats."""
+        entry_set = self._set_for(key)
+        slot = entry_set.get(key)
+        if slot is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch and self.replacement == "lru":
+            entry_set.move_to_end(key)
+        return slot[0]
+
+    def peek(self, key: int) -> Optional[V]:
+        """Return the value without touching LRU or stats."""
+        slot = self._set_for(key).get(key)
+        return None if slot is None else slot[0]
+
+    def contains(self, key: int) -> bool:
+        """Presence check without touching LRU or stats."""
+        return key in self._set_for(key)
+
+    def mark_dirty(self, key: int) -> None:
+        """Set the dirty bit of a resident key (no-op when absent)."""
+        slot = self._set_for(key).get(key)
+        if slot is not None:
+            slot[1] = True
+
+    def insert(self, key: int, value: V, dirty: bool = False) -> Optional[EvictedLine[V]]:
+        """Insert ``key``; returns the evicted line if the set was full.
+
+        Inserting an already-resident key updates it in place (returns
+        None); this mirrors a fill racing a hit.
+        """
+        entry_set = self._set_for(key)
+        if key in entry_set:
+            entry_set[key][0] = value
+            if dirty:
+                entry_set[key][1] = True
+            entry_set.move_to_end(key)
+            return None
+        victim: Optional[EvictedLine[V]] = None
+        if len(entry_set) >= self.associativity:
+            if self.replacement == "random":
+                keys = list(entry_set)
+                victim_key = keys[self._next_random() % len(keys)]
+                victim_value, victim_dirty = entry_set.pop(victim_key)
+            else:  # lru and fifo both evict the oldest-ordered entry
+                victim_key, (victim_value, victim_dirty) = entry_set.popitem(
+                    last=False
+                )
+            victim = EvictedLine(victim_key, victim_value, victim_dirty)
+        entry_set[key] = [value, dirty]
+        return victim
+
+    def invalidate(self, key: int) -> Optional[V]:
+        """Remove ``key`` if present; return its value."""
+        entry_set = self._set_for(key)
+        slot = entry_set.pop(key, None)
+        return None if slot is None else slot[0]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def items(self):
+        """Iterate (key, value) over all resident entries (test helper)."""
+        for entry_set in self._sets:
+            for key, (value, _dirty) in entry_set.items():
+                yield key, value
+
+    @property
+    def hit_rate(self) -> float:
+        """Lookup hit rate since construction."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,129 @@
+"""Swap-group Table Cache (STC) with MDM's per-block access counters.
+
+Figure 4: while a swap group's ST entry is resident in the STC, the memory
+controller keeps one saturating access counter per swap-group location.
+Counters are reset to zero at insertion; at eviction, every location with a
+non-zero count has its Quantized Access Counter (QAC) value recomputed and
+written back to the ST entry, and MDM's per-program statistics are updated
+(Section 3.2.1).  The STC thereby acts as the temporal filter that bounds
+the amount of accurate state to what is resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cache.sets import SetAssociativeCache
+
+
+@dataclass
+class STCEntry:
+    """Accurate per-block state kept only while the ST entry is cached.
+
+    ``qac_at_insert`` snapshots each location's QAC value (q_I) when the
+    entry was inserted; ``counters`` are the 6-bit saturating access
+    counts accumulated since insertion, indexed by swap-group location.
+    """
+
+    group: int
+    qac_at_insert: tuple[int, ...]
+    counters: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.counters:
+            self.counters = [0] * len(self.qac_at_insert)
+
+    def count(self, location: int) -> int:
+        """Access count of ``location`` since insertion."""
+        return self.counters[location]
+
+    def bump(self, location: int, weight: int, maximum: int) -> None:
+        """Saturating increment of one location's counter."""
+        new_value = self.counters[location] + weight
+        self.counters[location] = new_value if new_value < maximum else maximum
+
+    def any_other_accessed(self, location: int) -> bool:
+        """True if any location other than ``location`` has been accessed."""
+        return any(
+            count > 0
+            for index, count in enumerate(self.counters)
+            if index != location
+        )
+
+
+EvictionCallback = Callable[[STCEntry], None]
+
+
+class STC:
+    """The on-chip cache of ST entries, keyed by swap-group number."""
+
+    def __init__(
+        self,
+        num_sets: int,
+        associativity: int,
+        group_size: int,
+        counter_max: int = 63,
+    ) -> None:
+        self._array: SetAssociativeCache[STCEntry] = SetAssociativeCache(
+            num_sets, associativity
+        )
+        self._group_size = group_size
+        self._counter_max = counter_max
+        self._eviction_callbacks: list[EvictionCallback] = []
+
+    def on_eviction(self, callback: EvictionCallback) -> None:
+        """Register a callback invoked with every evicted entry."""
+        self._eviction_callbacks.append(callback)
+
+    @property
+    def hit_rate(self) -> float:
+        """STC lookup hit rate (Figure 7 reports this under MDM)."""
+        return self._array.hit_rate
+
+    @property
+    def hits(self) -> int:
+        """Number of lookups that hit."""
+        return self._array.hits
+
+    @property
+    def misses(self) -> int:
+        """Number of lookups that missed."""
+        return self._array.misses
+
+    def lookup(self, group: int) -> Optional[STCEntry]:
+        """LRU-touching lookup; None on miss (stats updated)."""
+        return self._array.lookup(group)
+
+    def peek(self, group: int) -> Optional[STCEntry]:
+        """Non-touching, stat-free lookup (used by policies)."""
+        return self._array.peek(group)
+
+    def insert(self, group: int, qac_values: tuple[int, ...]) -> Optional[STCEntry]:
+        """Insert a freshly fetched ST entry; returns the evicted entry.
+
+        ``qac_values`` is the QAC field of the ST entry at fetch time; the
+        per-location access counters start at zero (Section 3.2.1).
+        Eviction callbacks run before this method returns, so MDM statistics
+        and ST write-back happen at the architecturally correct instant.
+        """
+        entry = STCEntry(group=group, qac_at_insert=tuple(qac_values))
+        victim = self._array.insert(group, entry)
+        if victim is None:
+            return None
+        for callback in self._eviction_callbacks:
+            callback(victim.value)
+        return victim.value
+
+    def flush(self) -> list[STCEntry]:
+        """Evict everything (end-of-simulation bookkeeping); returns entries."""
+        evicted = [entry for _, entry in self._array.items()]
+        for entry in evicted:
+            self._array.invalidate(entry.group)
+            for callback in self._eviction_callbacks:
+                callback(entry)
+        return evicted
+
+    def bump(self, entry: STCEntry, location: int, weight: int) -> None:
+        """Increment a resident entry's access counter (saturating)."""
+        entry.bump(location, weight, self._counter_max)

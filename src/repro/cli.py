@@ -1,0 +1,219 @@
+"""Command-line interface: ``profess list`` / ``profess run <id>``.
+
+Examples::
+
+    profess list
+    profess run fig5
+    profess run fig13 --scale 128 --requests 20000
+    profess run all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    DEFAULT_MULTI_REQUESTS,
+    DEFAULT_SCALE,
+    DEFAULT_SINGLE_REQUESTS,
+    ExperimentRunner,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="profess",
+        description="ProFess (HPCA 2018) reproduction experiment harness",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig5, table4) or 'all'",
+    )
+    run_parser.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_SCALE,
+        help="capacity divisor vs the paper system (power of two)",
+    )
+    run_parser.add_argument(
+        "--requests",
+        type=int,
+        default=DEFAULT_MULTI_REQUESTS,
+        help="trace length per program (multiprogram runs)",
+    )
+    run_parser.add_argument(
+        "--single-requests",
+        type=int,
+        default=DEFAULT_SINGLE_REQUESTS,
+        help="trace length per program (single-program runs)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--out", type=Path, default=None, help="directory for .txt reports"
+    )
+    run_parser.add_argument("--verbose", action="store_true")
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="run every paper artifact and generate EXPERIMENTS.md",
+    )
+    report_parser.add_argument(
+        "--scale", type=int, default=DEFAULT_SCALE
+    )
+    report_parser.add_argument(
+        "--requests", type=int, default=DEFAULT_MULTI_REQUESTS
+    )
+    report_parser.add_argument(
+        "--single-requests", type=int, default=DEFAULT_SINGLE_REQUESTS
+    )
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument(
+        "--output", type=Path, default=Path("EXPERIMENTS.md")
+    )
+    report_parser.add_argument(
+        "--store", type=Path, default=None, help="directory for JSON results"
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="synthesize a program trace to a .npz file"
+    )
+    trace_parser.add_argument("program", help="Table 9 program name")
+    trace_parser.add_argument("output", type=Path)
+    trace_parser.add_argument("--requests", type=int, default=50_000)
+    trace_parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    trace_parser.add_argument("--seed", type=int, default=0)
+
+    char_parser = subparsers.add_parser(
+        "characterize", help="summarize a trace file (or a program name)"
+    )
+    char_parser.add_argument(
+        "trace", help="path to a .npz trace, or a Table 9 program name"
+    )
+    char_parser.add_argument("--requests", type=int, default=50_000)
+    char_parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    char_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(
+        scale=args.scale,
+        multi_requests=args.requests,
+        single_requests=args.single_requests,
+        seed=args.seed,
+        verbose=args.verbose,
+    )
+    ids = (
+        list(EXPERIMENTS)
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for experiment_id in ids:
+        if experiment_id not in EXPERIMENTS:
+            print(
+                f"unknown experiment {experiment_id!r}; try 'profess list'",
+                file=sys.stderr,
+            )
+            return 2
+        started = time.time()
+        result = run_experiment(experiment_id, runner)
+        report = result.render()
+        elapsed = time.time() - started
+        print(report)
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{experiment_id}.txt").write_text(report + "\n")
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    from repro.experiments.paper_report import generate_experiments_md
+    from repro.experiments.store import ResultStore
+
+    runner = ExperimentRunner(
+        scale=args.scale,
+        multi_requests=args.requests,
+        single_requests=args.single_requests,
+        seed=args.seed,
+    )
+    store = ResultStore(args.store) if args.store is not None else None
+    started = time.time()
+    generate_experiments_md(runner, args.output, store=store)
+    print(f"wrote {args.output} in {time.time() - started:.0f}s")
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    from repro.traces.generator import synthesize_trace
+
+    trace = synthesize_trace(
+        args.program, args.requests, scale=args.scale, seed=args.seed
+    )
+    trace.save(args.output)
+    print(
+        f"wrote {args.output}: {len(trace)} requests, "
+        f"MPKI {trace.mpki:.1f}, writes {trace.write_fraction:.1%}"
+    )
+    return 0
+
+
+def _characterize(args: argparse.Namespace) -> int:
+    from repro.cpu.trace import Trace
+    from repro.traces.generator import synthesize_trace
+    from repro.traces.spec import PROGRAM_PROFILES
+    from repro.traces.stats import characterize
+
+    if args.trace in PROGRAM_PROFILES:
+        trace = synthesize_trace(
+            args.trace, args.requests, scale=args.scale, seed=args.seed
+        )
+    else:
+        trace = Trace.load(args.trace)
+    summary = characterize(trace)
+    print(f"requests:                  {summary.requests}")
+    print(f"instructions:              {summary.instructions}")
+    print(f"MPKI:                      {summary.mpki:.2f}")
+    print(f"write fraction:            {summary.write_fraction:.1%}")
+    print(f"footprint:                 {summary.footprint_bytes / 1024:.0f} KB")
+    print(f"distinct 2-KB blocks:      {summary.distinct_blocks}")
+    print(f"mean accesses per block:   {summary.mean_accesses_per_block:.1f}")
+    print(f"top-decile access share:   {summary.top_decile_access_share:.1%}")
+    print(f"same-block request pairs:  {summary.same_block_fraction:.1%}")
+    reuse = summary.median_block_reuse_distance
+    print(
+        "median block reuse dist:   "
+        + (f"{reuse:.0f}" if reuse is not None else "n/a (streaming)")
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(i) for i in EXPERIMENTS)
+        for experiment_id, spec in EXPERIMENTS.items():
+            print(f"{experiment_id.ljust(width)}  {spec.description}")
+        return 0
+    if args.command == "report":
+        return _report(args)
+    if args.command == "trace":
+        return _trace(args)
+    if args.command == "characterize":
+        return _characterize(args)
+    return _run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

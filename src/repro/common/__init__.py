@@ -1,0 +1,36 @@
+"""Foundational utilities shared by every subsystem of the reproduction.
+
+This package deliberately contains no simulation logic; it provides units,
+configuration containers, deterministic randomness, small statistics helpers,
+and the exception hierarchy used across ``repro``.
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.common.smoothing import ExponentialSmoother
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    NS_PER_CPU_CYCLE,
+    cpu_cycles_from_ns,
+    ns_from_cpu_cycles,
+)
+
+__all__ = [
+    "ConfigError",
+    "ExponentialSmoother",
+    "GB",
+    "KB",
+    "MB",
+    "NS_PER_CPU_CYCLE",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "cpu_cycles_from_ns",
+    "ns_from_cpu_cycles",
+]

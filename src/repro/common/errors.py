@@ -1,0 +1,17 @@
+"""Exception hierarchy for the ProFess reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class TraceError(ReproError):
+    """A malformed trace record, file, or generator specification."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the simulation engine was violated."""

@@ -1,0 +1,64 @@
+"""Discrete-event scheduling primitive used by the whole simulator.
+
+Every component (cores, channels, the hybrid-memory controller) shares one
+:class:`EventQueue`.  Time is integer CPU cycles; events scheduled for the
+same cycle fire in insertion order, which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.common.errors import SimulationError
+
+Callback = Callable[[int], None]
+
+
+class EventQueue:
+    """A min-heap of (cycle, sequence, callback) events."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callback]] = []
+        self._seq = 0
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Cycle of the event currently (or most recently) being processed."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, cycle: int, callback: Callback) -> None:
+        """Schedule ``callback(cycle)`` to run at ``cycle`` (>= now)."""
+        if cycle < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {cycle} before now={self._now}"
+            )
+        heapq.heappush(self._heap, (cycle, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: int, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        self.schedule(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Run the earliest event.  Returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        cycle, _, callback = heapq.heappop(self._heap)
+        self._now = cycle
+        callback(cycle)
+        return True
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue (optionally bounded); returns events processed."""
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        return processed

@@ -1,0 +1,60 @@
+"""Simple exponential smoothing, as used by RSM (Section 3.1.3).
+
+The paper smooths the raw RSM counter values with parameter ``alpha = 0.125``
+and increments each counter by one before adding it to the running average,
+to avoid zeros.  :class:`ExponentialSmoother` implements exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+class ExponentialSmoother:
+    """Running simple-exponential-smoothing average.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing parameter in (0, 1].  The paper uses 0.125 for RSM.
+    bias:
+        Constant added to every observation before smoothing.  RSM uses 1
+        ("to avoid zeros, we increment by one each counter before adding it
+        to the respective average").
+    """
+
+    def __init__(self, alpha: float = 0.125, bias: float = 0.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.bias = bias
+        self._value: float | None = None
+
+    @property
+    def value(self) -> float | None:
+        """Current smoothed value, or None before the first observation."""
+        return self._value
+
+    @property
+    def initialized(self) -> bool:
+        """True once at least one observation has been absorbed."""
+        return self._value is not None
+
+    def update(self, observation: float) -> float:
+        """Absorb one observation and return the new smoothed value."""
+        observation = observation + self.bias
+        if self._value is None:
+            self._value = float(observation)
+        else:
+            self._value += self.alpha * (observation - self._value)
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExponentialSmoother(alpha={self.alpha}, bias={self.bias}, "
+            f"value={self._value})"
+        )

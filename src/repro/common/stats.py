@@ -1,0 +1,105 @@
+"""Small statistics helpers used for reporting experiment results.
+
+The paper summarizes single-program results with Tukey box plots (first and
+third quartiles, whiskers at the data range, outliers beyond 1.5 IQR, median,
+and geometric mean — Figure 5).  :func:`boxplot_stats` reproduces that
+summary; :func:`geomean` is the aggregate used throughout Section 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises ValueError on empty input or any non-positive value, because a
+    silent 0/NaN would corrupt normalized-performance aggregates.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    total = 0.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        total += math.log(v)
+    return math.exp(total / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ValueError on empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Iterable[float]) -> float:
+    """Population standard deviation (the paper's sigma estimates)."""
+    values = list(values)
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    mu = sum(values) / len(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile on an already sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(sorted_values[low])
+    weight = position - low
+    return float(sorted_values[low] * (1 - weight) + sorted_values[high] * weight)
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Tukey box-plot summary of a sample (Figure 5 style)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    geometric_mean: float
+    outliers: tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: Iterable[float]) -> BoxplotStats:
+    """Compute the Tukey box-plot summary the paper uses for Figure 5."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("boxplot_stats of empty sequence")
+    q1 = percentile(data, 0.25)
+    q3 = percentile(data, 0.75)
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inliers = [v for v in data if low_fence <= v <= high_fence]
+    outliers = tuple(v for v in data if v < low_fence or v > high_fence)
+    return BoxplotStats(
+        minimum=float(inliers[0]),
+        q1=q1,
+        median=percentile(data, 0.5),
+        q3=q3,
+        maximum=float(inliers[-1]),
+        geometric_mean=geomean(data) if all(v > 0 for v in data) else float("nan"),
+        outliers=outliers,
+    )

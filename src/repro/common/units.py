@@ -1,0 +1,51 @@
+"""Unit constants and time conversions.
+
+The simulator keeps all time as integer CPU cycles at the paper's core
+frequency of 3.2 GHz (Table 8).  Memory timings are specified in nanoseconds
+and converted once, at configuration time, with :func:`cpu_cycles_from_ns`.
+Integer cycles avoid float drift over billions of simulated cycles.
+"""
+
+from __future__ import annotations
+
+import math
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Paper core frequency (Table 8): 3.2 GHz.
+CPU_FREQ_GHZ = 3.2
+#: One CPU cycle at 3.2 GHz, in nanoseconds.
+NS_PER_CPU_CYCLE = 1.0 / CPU_FREQ_GHZ
+
+#: Paper memory channel frequency (Table 8): 0.8 GHz (1.6 GHz DDR).
+CHANNEL_FREQ_GHZ = 0.8
+#: CPU cycles per memory-channel cycle (3.2 / 0.8).
+CPU_CYCLES_PER_CHANNEL_CYCLE = 4
+
+
+def cpu_cycles_from_ns(ns: float) -> int:
+    """Convert a nanosecond latency to whole CPU cycles, rounding up.
+
+    Rounding up is the conservative choice for timing parameters: a
+    constraint is never violated by truncation.
+    """
+    return int(math.ceil(ns * CPU_FREQ_GHZ - 1e-9))
+
+
+def ns_from_cpu_cycles(cycles: int) -> float:
+    """Convert CPU cycles back to nanoseconds (for reporting)."""
+    return cycles * NS_PER_CPU_CYCLE
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True for positive powers of two (including 1)."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power of two, raising ValueError otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,27 @@
+"""The paper's contribution: MDM, RSM, and their integration, ProFess.
+
+* :mod:`repro.core.qac` — Table 5 access-count quantization.
+* :mod:`repro.core.mdm_stats` — Table 6 counters and the expected-access
+  predictor of Eqs. (5)-(7).
+* :mod:`repro.core.mdm` — the probabilistic Migration-Decision Mechanism
+  (Section 3.2.3).
+* :mod:`repro.core.rsm` — the Relative-Slowdown Monitor: Table 3 counters
+  and slowdown factors SF_A / SF_B of Eqs. (2)-(3).
+* :mod:`repro.core.profess` — RSM-guided MDM per Table 7.
+"""
+
+from repro.core.qac import quantize_access_count
+from repro.core.mdm_stats import MDMProgramStats
+from repro.core.mdm import MDMPolicy
+from repro.core.rsm import RSM, RSMCounters, RSMSample
+from repro.core.profess import ProFessPolicy
+
+__all__ = [
+    "MDMPolicy",
+    "MDMProgramStats",
+    "ProFessPolicy",
+    "RSM",
+    "RSMCounters",
+    "RSMSample",
+    "quantize_access_count",
+]

@@ -1,0 +1,74 @@
+"""RSM guidance wrapped around a non-MDM migration algorithm.
+
+Section 6 of the paper notes that "the proposed RSM can be integrated
+with other migration algorithms instead of MDM, since it merely guides
+migration decisions."  This module implements that claim for the PoM
+baseline: the Table 7 cases are applied on top of PoM's competing-counter
+decision —
+
+* **Case 1** (help the M2 block's program): decide as if the competing
+  counter had already reached the lowest candidate threshold, i.e.
+  promote on this access provided swaps are not globally prohibited;
+* **Case 2 / Case 3** (protect the M1 resident): veto the swap;
+* otherwise PoM decides unmodified.
+
+This is an *extension experiment*, not a paper artifact: it quantifies
+how much of ProFess's fairness gain comes from RSM guidance alone versus
+from MDM's cost-benefit analysis (see ``bench_ext_rsm_pom.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import SystemConfig
+from repro.policies.base import AccessContext
+from repro.policies.pom import PoMPolicy
+
+
+class RSMGuidedPoMPolicy(PoMPolicy):
+    """PoM with Table 7 fairness guidance."""
+
+    name = "rsm-pom"
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        self._profess = config.profess
+        self.case_counts = {1: 0, 2: 0, 3: 0, "default": 0, "same": 0}
+
+    def on_access(self, ctx: AccessContext) -> Optional[int]:
+        decision = super().on_access(ctx)
+        if ctx.in_m1:
+            return decision
+        c_m1, c_m2 = ctx.m1_owner, ctx.owner
+        if c_m1 is None or c_m1 == c_m2:
+            self.case_counts["same"] += 1
+            return decision
+        rsm = getattr(self._controller, "rsm", None)
+        if rsm is None or rsm.sf_a[c_m1] is None or rsm.sf_a[c_m2] is None:
+            self.case_counts["default"] += 1
+            return decision
+        sf_a1, sf_a2 = rsm.sf_a[c_m1], rsm.sf_a[c_m2]
+        sf_b1, sf_b2 = rsm.sf_b[c_m1], rsm.sf_b[c_m2]
+        factor = self._profess.sf_factor
+        a_says_m2 = sf_a1 * factor < sf_a2
+        a_says_m1 = sf_a1 > sf_a2 * factor
+        b_says_m2 = sf_b1 * factor < sf_b2
+        b_says_m1 = sf_b1 > sf_b2 * factor
+        if a_says_m2 and b_says_m2:
+            # Aggressive help: promote now unless swaps are prohibited.
+            self.case_counts[1] += 1
+            return ctx.slot if self.threshold is not None else decision
+        if a_says_m1 and b_says_m1:
+            self.case_counts[2] += 1
+            return None
+        if (
+            self._profess.case3_enabled
+            and a_says_m2
+            and b_says_m1
+            and sf_a1 * sf_b1 > sf_a2 * sf_b2 * self._profess.product_factor
+        ):
+            self.case_counts[3] += 1
+            return None
+        self.case_counts["default"] += 1
+        return decision

@@ -1,0 +1,140 @@
+"""Trace-driven core timing model.
+
+Substitute for the paper's 4-wide out-of-order core (Table 8): the core
+retires non-memory instructions at ``issue_ipc`` and tolerates up to
+``mlp`` outstanding main-memory reads before stalling — a first-order
+model of ROB-limited memory-level parallelism.  Writes retire through a
+bounded write buffer and stall the core only when the buffer is full.
+
+This captures what migration policies are actually sensitive to: how much
+main-memory latency each program can hide, and how stalls couple cores
+through channel contention.  Absolute IPC is not calibrated to any real
+machine; all paper figures are normalized comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.common.config import CoreConfig
+from repro.common.events import EventQueue
+from repro.cpu.trace import Trace
+
+
+class TraceCore:
+    """Replays one program's trace against a memory access function.
+
+    ``access`` is called as ``access(core_id, virtual_line, is_write,
+    on_complete)``; address translation to original physical lines is the
+    caller's concern (see :class:`repro.sim.engine.ProgramRunner`).
+    ``on_pass_complete`` fires each time the trace finishes one pass; it
+    returns True to replay the trace again (workload repetition,
+    Section 4.2) or False to stop the core.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        trace: Trace,
+        events: EventQueue,
+        access: Callable[[int, int, bool, Callable[[int], None]], None],
+        on_pass_complete: Optional[Callable[[int, int], bool]] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.trace = trace
+        self.events = events
+        self.access = access
+        self.on_pass_complete = on_pass_complete
+        self.index = 0
+        self.passes_completed = 0
+        self.instructions_retired = 0
+        self.outstanding_reads = 0
+        self.writes_in_flight = 0
+        self.stopped = False
+        self.finished_at: Optional[int] = None
+        self._waiting_for_read = False
+        self._waiting_for_write = False
+        self._gaps = trace.gaps
+        self._lines = trace.lines
+        self._writes = trace.writes
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first instruction at cycle 0."""
+        self.events.schedule(self.events.now, self._issue_next)
+
+    def stop(self) -> None:
+        """Cease issuing after in-flight work completes."""
+        self.stopped = True
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle up to now (or up to finish)."""
+        end = self.finished_at if self.finished_at is not None else self.events.now
+        return self.instructions_retired / end if end > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def _issue_next(self, now: int) -> None:
+        if self.stopped:
+            self._finish(now)
+            return
+        if self.index >= len(self.trace):
+            self.passes_completed += 1
+            replay = False
+            if self.on_pass_complete is not None:
+                replay = self.on_pass_complete(self.core_id, now)
+            if not replay:
+                self._finish(now)
+                return
+            self.index = 0
+        gap = int(self._gaps[self.index])
+        compute_cycles = (
+            math.ceil(gap / self.config.issue_ipc) if gap > 0 else 0
+        )
+        if compute_cycles > 0:
+            self.events.schedule(now + compute_cycles, self._dispatch)
+        else:
+            self._dispatch(now)
+
+    def _dispatch(self, now: int) -> None:
+        if self.stopped:
+            self._finish(now)
+            return
+        is_write = bool(self._writes[self.index])
+        if is_write:
+            if self.writes_in_flight >= self.config.write_buffer:
+                self._waiting_for_write = True
+                return  # resumed by _on_write_complete
+            self.writes_in_flight += 1
+            callback = self._on_write_complete
+        else:
+            if self.outstanding_reads >= self.config.mlp:
+                self._waiting_for_read = True
+                return  # resumed by _on_read_complete
+            self.outstanding_reads += 1
+            callback = self._on_read_complete
+        line = int(self._lines[self.index])
+        gap = int(self._gaps[self.index])
+        self.instructions_retired += gap + 1
+        self.index += 1
+        self.access(self.core_id, line, is_write, callback)
+        self._issue_next(now)
+
+    def _on_read_complete(self, now: int) -> None:
+        self.outstanding_reads -= 1
+        if self._waiting_for_read:
+            self._waiting_for_read = False
+            self._dispatch(now)
+
+    def _on_write_complete(self, now: int) -> None:
+        self.writes_in_flight -= 1
+        if self._waiting_for_write:
+            self._waiting_for_write = False
+            self._dispatch(now)
+
+    def _finish(self, now: int) -> None:
+        if self.finished_at is None:
+            self.finished_at = now

@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Use :class:`repro.experiments.runner.ExperimentRunner` for shared
+configuration, trace synthesis, and run caching (stand-alone IPC runs are
+reused across figures exactly as the paper reuses its single-program
+baselines), and :mod:`repro.experiments.registry` to run experiments by
+their paper artifact id (``fig5``, ``table4``, ...).
+"""
+
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["ExperimentRunner"]

@@ -1,0 +1,36 @@
+"""Common experiment-result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.report import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver: a table plus a summary."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list
+    summary: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable report."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        if self.summary:
+            parts.append("")
+            for key, value in self.summary.items():
+                if isinstance(value, float):
+                    parts.append(f"{key}: {value:.4f}")
+                else:
+                    parts.append(f"{key}: {value}")
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,48 @@
+"""Figures 10-12: multi-program evaluation of MDM (no RSM) vs PoM.
+
+* Figure 10 — max slowdown (unfairness), MDM/PoM: paper avg -6%.
+* Figure 11 — weighted speedup, MDM/PoM: paper avg +7%.
+* Figure 12 — memory energy efficiency, MDM/PoM: paper avg +7%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.multi import normalized_figure
+from repro.experiments.runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner) -> ExperimentResult:
+    """Figure 10: max slowdown of MDM normalized to PoM (lower = fairer)."""
+    return normalized_figure(
+        runner,
+        "fig10",
+        "Max slowdown of MDM normalized to PoM",
+        policy="mdm",
+        metric=lambda m: m.unfairness,
+        higher_is_better=False,
+    )
+
+
+def run_fig11(runner: ExperimentRunner) -> ExperimentResult:
+    """Figure 11: weighted speedup of MDM normalized to PoM."""
+    return normalized_figure(
+        runner,
+        "fig11",
+        "Performance (weighted speedup) of MDM normalized to PoM",
+        policy="mdm",
+        metric=lambda m: m.weighted_speedup,
+        higher_is_better=True,
+    )
+
+
+def run_fig12(runner: ExperimentRunner) -> ExperimentResult:
+    """Figure 12: energy efficiency of MDM normalized to PoM."""
+    return normalized_figure(
+        runner,
+        "fig12",
+        "Memory energy efficiency of MDM normalized to PoM",
+        policy="mdm",
+        metric=lambda m: m.energy_efficiency,
+        higher_is_better=True,
+    )

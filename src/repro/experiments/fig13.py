@@ -1,0 +1,48 @@
+"""Figures 13-15: multi-program evaluation of ProFess (MDM + RSM) vs PoM.
+
+* Figure 13 — max slowdown, ProFess/PoM: paper avg -15% (up to -29%).
+* Figure 14 — weighted speedup, ProFess/PoM: paper avg +12% (up to +29%).
+* Figure 15 — energy efficiency, ProFess/PoM: paper avg +11%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.multi import normalized_figure
+from repro.experiments.runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner) -> ExperimentResult:
+    """Figure 13: max slowdown of ProFess normalized to PoM."""
+    return normalized_figure(
+        runner,
+        "fig13",
+        "Max slowdown of ProFess normalized to PoM",
+        policy="profess",
+        metric=lambda m: m.unfairness,
+        higher_is_better=False,
+    )
+
+
+def run_fig14(runner: ExperimentRunner) -> ExperimentResult:
+    """Figure 14: weighted speedup of ProFess normalized to PoM."""
+    return normalized_figure(
+        runner,
+        "fig14",
+        "Performance (weighted speedup) of ProFess normalized to PoM",
+        policy="profess",
+        metric=lambda m: m.weighted_speedup,
+        higher_is_better=True,
+    )
+
+
+def run_fig15(runner: ExperimentRunner) -> ExperimentResult:
+    """Figure 15: energy efficiency of ProFess normalized to PoM."""
+    return normalized_figure(
+        runner,
+        "fig15",
+        "Memory energy efficiency of ProFess normalized to PoM",
+        policy="profess",
+        metric=lambda m: m.energy_efficiency,
+        higher_is_better=True,
+    )

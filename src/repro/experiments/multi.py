@@ -1,0 +1,65 @@
+"""Shared machinery for the multiprogram figures (10-16).
+
+Each of Figures 10-15 is one metric of the same underlying sweep: every
+Table 10 workload run under PoM and under the evaluated scheme, with
+per-scheme stand-alone reference runs for the slowdown computation.  The
+sweep is cached inside the runner, so requesting several figures costs
+one simulation pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.analysis.plotting import hbar_chart
+from repro.analysis.report import normalized_series_summary
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.metrics import WorkloadMetrics
+from repro.workloads.table10 import WORKLOAD_NAMES
+
+
+def sweep(
+    runner: ExperimentRunner,
+    policies: Sequence[str],
+    workloads: Sequence[str] = WORKLOAD_NAMES,
+) -> dict[str, dict[str, WorkloadMetrics]]:
+    """metrics[workload][policy] for the requested schemes."""
+    return {
+        name: {
+            policy: runner.workload_metrics(name, policy)
+            for policy in policies
+        }
+        for name in workloads
+    }
+
+
+def normalized_figure(
+    runner: ExperimentRunner,
+    experiment_id: str,
+    title: str,
+    policy: str,
+    metric: Callable[[WorkloadMetrics], float],
+    higher_is_better: bool,
+    baseline: str = "pom",
+    workloads: Sequence[str] = WORKLOAD_NAMES,
+) -> ExperimentResult:
+    """Build one Figure 10-15 style normalized comparison."""
+    metrics = sweep(runner, [baseline, policy], workloads)
+    series: dict[str, float] = {}
+    rows = []
+    for name in workloads:
+        base_value = metric(metrics[name][baseline])
+        new_value = metric(metrics[name][policy])
+        ratio = new_value / base_value
+        series[name] = ratio
+        rows.append([name, base_value, new_value, ratio])
+    summary = normalized_series_summary(series, higher_is_better)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["workload", baseline, policy, f"{policy}/{baseline}"],
+        rows=rows,
+        summary=summary,
+        notes=hbar_chart(series, baseline=1.0),
+    )

@@ -1,0 +1,115 @@
+"""Experiment registry: paper artifact id -> driver.
+
+``run_experiment("fig5", runner)`` regenerates the corresponding table or
+figure; ``EXPERIMENTS`` lists everything DESIGN.md's per-experiment index
+promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    fig02,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig10,
+    fig13,
+    fig16,
+    mempod_compare,
+    sensitivity,
+    table01,
+    table04,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    experiment_id: str
+    description: str
+    driver: Callable[[ExperimentRunner], ExperimentResult]
+
+
+_SPECS = (
+    ExperimentSpec("table1", "Organization matrix + Table 2 checks", table01.run),
+    ExperimentSpec("fig2", "Slowdowns under PoM (fairness problem)", fig02.run),
+    ExperimentSpec("table4", "RSM sampling accuracy", table04.run),
+    ExperimentSpec("fig5", "Single-program MDM vs PoM IPC", fig05.run),
+    ExperimentSpec("fig6", "M1-served fraction MDM vs PoM", fig06.run),
+    ExperimentSpec("fig7", "STC hit rates under MDM", fig07.run),
+    ExperimentSpec("fig8", "IPC sensitivity to STC size", fig08.run),
+    ExperimentSpec("fig9", "STC hit rates vs STC size", fig08.run_fig9),
+    ExperimentSpec("sens-twr", "Sensitivity to tWR_M2", sensitivity.run_twr),
+    ExperimentSpec(
+        "sens-ratio", "Sensitivity to M1:M2 ratio", sensitivity.run_ratio
+    ),
+    ExperimentSpec("fig10", "MDM vs PoM max slowdown", fig10.run),
+    ExperimentSpec("fig11", "MDM vs PoM weighted speedup", fig10.run_fig11),
+    ExperimentSpec("fig12", "MDM vs PoM energy efficiency", fig10.run_fig12),
+    ExperimentSpec("fig13", "ProFess vs PoM max slowdown", fig13.run),
+    ExperimentSpec("fig14", "ProFess vs PoM weighted speedup", fig13.run_fig14),
+    ExperimentSpec("fig15", "ProFess vs PoM energy efficiency", fig13.run_fig15),
+    ExperimentSpec("fig16", "Per-program slowdowns, three schemes", fig16.run),
+    ExperimentSpec(
+        "mempod-vs-pom", "MemPod AMMAT vs PoM (Sec. 2.5)", mempod_compare.run
+    ),
+    ExperimentSpec("ablation-qac", "QAC boundary ablation", ablations.run_qac),
+    ExperimentSpec(
+        "ablation-min-benefit", "min_benefit sweep", ablations.run_min_benefit
+    ),
+    ExperimentSpec(
+        "ablation-rsm-thresholds",
+        "ProFess hysteresis/Case-3 ablation",
+        ablations.run_rsm_thresholds,
+    ),
+    ExperimentSpec(
+        "ablation-rsm-alpha", "RSM alpha ablation", ablations.run_alpha
+    ),
+    ExperimentSpec(
+        "ext-rsm-pom",
+        "Extension: RSM guidance on PoM (decomposition)",
+        extensions.run_rsm_pom,
+    ),
+    ExperimentSpec(
+        "ext-policy-matrix",
+        "Extension: every policy on w09",
+        extensions.run_policy_matrix,
+    ),
+    ExperimentSpec(
+        "ext-random-mixes",
+        "Extension: ProFess vs PoM on random mixes",
+        extensions.run_random_mixes,
+    ),
+    ExperimentSpec(
+        "ext-prediction-accuracy",
+        "Extension: MDM predictor calibration (Eq. 8)",
+        extensions.run_prediction_accuracy,
+    ),
+)
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec for spec in _SPECS
+}
+
+
+def run_experiment(
+    experiment_id: str, runner: ExperimentRunner
+) -> ExperimentResult:
+    """Run a registered experiment by its paper artifact id."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return spec.driver(runner)

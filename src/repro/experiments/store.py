@@ -1,0 +1,71 @@
+"""Persistence of experiment results as JSON.
+
+Lets long sweeps be archived and re-rendered without re-simulation, and
+backs the EXPERIMENTS.md generator (:mod:`repro.experiments.paper_report`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> None:
+    """Write one experiment result as JSON."""
+    payload = _jsonable(asdict(result))
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Load a result written by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text())
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        headers=payload["headers"],
+        rows=payload["rows"],
+        summary=payload.get("summary", {}),
+        notes=payload.get("notes", ""),
+    )
+
+
+class ResultStore:
+    """A directory of experiment results keyed by experiment id."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, experiment_id: str) -> Path:
+        return self.directory / f"{experiment_id}.json"
+
+    def save(self, result: ExperimentResult) -> Path:
+        """Persist one result; returns its path."""
+        path = self._path(result.experiment_id)
+        save_result(result, path)
+        return path
+
+    def load(self, experiment_id: str) -> Optional[ExperimentResult]:
+        """Load one result or None if absent."""
+        path = self._path(experiment_id)
+        if not path.exists():
+            return None
+        return load_result(path)
+
+    def ids(self) -> list[str]:
+        """Stored experiment ids."""
+        return sorted(p.stem for p in self.directory.glob("*.json"))

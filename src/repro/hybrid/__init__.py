@@ -1,0 +1,23 @@
+"""Flat migrating hybrid-memory organization (the PoM baseline, Sec. 2.3).
+
+Swap groups of nine 2-KB locations (one in M1, eight in M2), a Swap-group
+Table (ST) stored in M1 with an on-chip cache (STC), OS page-frame
+allocation over 128 interleaved regions with per-program private regions,
+and the memory-controller facade that ties translation, timing, policies,
+and monitoring together.
+"""
+
+from repro.hybrid.address import AddressMap
+from repro.hybrid.st_entry import STEntry
+from repro.hybrid.st import SwapGroupTable
+from repro.hybrid.regions import OSAllocator, RegionMap
+from repro.hybrid.memory import HybridMemoryController
+
+__all__ = [
+    "AddressMap",
+    "HybridMemoryController",
+    "OSAllocator",
+    "RegionMap",
+    "STEntry",
+    "SwapGroupTable",
+]

@@ -1,0 +1,130 @@
+"""Address arithmetic of the flat migrating organization.
+
+Original (OS-visible) physical addresses are numbered in 2-KB blocks over
+the full M1+M2 capacity.  With G total swap groups and group size S = 9:
+
+* ``group(b) = b mod G`` — consecutive blocks land in consecutive groups,
+  so a 4-KB page (two blocks) maps to two consecutive swap groups, matching
+  Figure 3.
+* ``slot(b) = b div G`` — the block's home location inside its group
+  (slot 0's home is the M1 location; slots 1..8 are M2 locations).
+
+Channels interleave at swap-group granularity (``channel = g mod C``), and
+regions follow Figure 3's pattern: group pair (2k, 2k+1) belongs to region
+``k mod num_regions``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.mem.request import DeviceAddress, Module
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Where a block currently lives: channel + device address."""
+
+    channel: int
+    address: DeviceAddress
+
+
+class AddressMap:
+    """Pure-arithmetic mapping between blocks, groups, pages, and devices."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        hybrid = config.hybrid
+        self.num_channels = config.num_channels
+        self.group_size = hybrid.group_size
+        self.groups_per_channel = hybrid.groups_per_channel
+        self.total_groups = config.total_groups
+        self.total_blocks = config.total_blocks
+        self.total_pages = config.total_pages
+        self.num_regions = hybrid.num_regions
+        self.blocks_per_row = hybrid.blocks_per_row
+        self.banks = hybrid.banks_per_rank
+        self.lines_per_block = hybrid.lines_per_block
+        #: 8-B ST entries per 64-B line, and 64-B lines per 8-KB row.
+        self.st_entries_per_line = 64 // 8
+        self.st_lines_per_row = hybrid.row_buffer_size // hybrid.line_size
+        if self.total_groups % self.num_channels:
+            raise ConfigError("total groups must divide evenly over channels")
+
+    # -- block/group arithmetic -----------------------------------------
+    def group_of_block(self, block: int) -> int:
+        """Swap group of an original block address."""
+        return block % self.total_groups
+
+    def slot_of_block(self, block: int) -> int:
+        """Home slot (0..group_size-1) of an original block address."""
+        return block // self.total_groups
+
+    def block_of(self, group: int, slot: int) -> int:
+        """Original block address for (group, slot)."""
+        return slot * self.total_groups + group
+
+    def channel_of_group(self, group: int) -> int:
+        """Channel serving a swap group."""
+        return group % self.num_channels
+
+    def channel_group_index(self, group: int) -> int:
+        """Group index local to its channel."""
+        return group // self.num_channels
+
+    # -- regions and pages (Figure 3) ------------------------------------
+    def region_of_group(self, group: int) -> int:
+        """Interleaved region of a swap group: pair (2k, 2k+1) -> k mod R."""
+        return (group >> 1) % self.num_regions
+
+    def page_of_block(self, block: int) -> int:
+        """4-KB OS page frame containing an original block."""
+        return block // 2
+
+    def blocks_of_page(self, page: int) -> tuple[int, int]:
+        """The two 2-KB blocks of a page frame."""
+        return 2 * page, 2 * page + 1
+
+    def region_of_page(self, page: int) -> int:
+        """Region of a page frame; both of its blocks share this region."""
+        return self.region_of_group(self.group_of_block(2 * page))
+
+    def segment_of_page(self, page: int) -> int:
+        """Home slot shared by both blocks of the page (0 = M1-home)."""
+        return self.slot_of_block(2 * page)
+
+    # -- device addresses --------------------------------------------------
+    def data_location(self, group: int, location: int) -> BlockLocation:
+        """Device address of a swap-group location's 2-KB block.
+
+        ``location`` 0 is the group's M1 block; 1..group_size-1 are its M2
+        blocks.  Consecutive blocks within a module share rows
+        (``blocks_per_row`` per row) and rows interleave across banks.
+        """
+        channel = self.channel_of_group(group)
+        local = self.channel_group_index(group)
+        if location == 0:
+            module = Module.M1
+            block_index = local
+        else:
+            module = Module.M2
+            block_index = local * (self.group_size - 1) + (location - 1)
+        row_global = block_index // self.blocks_per_row
+        bank = row_global % self.banks
+        row = row_global // self.banks
+        return BlockLocation(channel, DeviceAddress(module, bank, row))
+
+    def st_location(self, group: int) -> BlockLocation:
+        """Device address of a group's ST entry (stored in M1, Sec. 2.2).
+
+        ST rows use a disjoint negative row namespace so table traffic
+        contends for M1 banks without aliasing data rows.
+        """
+        channel = self.channel_of_group(group)
+        local = self.channel_group_index(group)
+        line = local // self.st_entries_per_line
+        row_global = line // self.st_lines_per_row
+        bank = row_global % self.banks
+        row = -1 - (row_global // self.banks)
+        return BlockLocation(channel, DeviceAddress(Module.M1, bank, row))

@@ -1,0 +1,120 @@
+"""Bit-level encoding of ST entries (Figure 4 / Section 4.1).
+
+The paper sizes a ProFess ST entry at 8 bytes: 4 address-translation bits
+per location x 9 locations = 36 bits, 2 QAC bits x 9 = 18 bits, and a
+2-bit program ID for the M1 resident's owner — 56 bits used, one byte
+reserved.  This module packs/unpacks :class:`repro.hybrid.st_entry.STEntry`
+state to that exact layout, which pins down the storage-overhead claims
+(and gives file-format stability for anyone persisting ST state).
+
+Layout (little-endian bit offsets within a 64-bit word):
+
+====== ======================= =========
+bits   field                   width
+====== ======================= =========
+0-35   ATB: location_of(slot)  9 x 4
+36-53  QAC per slot            9 x 2
+54-55  m1_owner program id     2
+56-63  reserved (zero)         8
+====== ======================= =========
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+from repro.hybrid.st_entry import STEntry
+
+#: Field widths from Figure 4 / Section 4.1.
+ATB_BITS = 4
+QAC_BITS = 2
+PID_BITS = 2
+GROUP_SIZE = 9
+ENTRY_BYTES = 8
+
+_ATB_SHIFT = 0
+_QAC_SHIFT = GROUP_SIZE * ATB_BITS  # 36
+_PID_SHIFT = _QAC_SHIFT + GROUP_SIZE * QAC_BITS  # 54
+_USED_BITS = _PID_SHIFT + PID_BITS  # 56
+
+
+class EncodingError(ReproError):
+    """State does not fit the hardware entry format."""
+
+
+def encode_st_entry(entry: STEntry, owner_bits: int = 0) -> int:
+    """Pack an ST entry into its 64-bit hardware representation.
+
+    ``owner_bits`` substitutes for ``entry.m1_owner`` when the owner is
+    None (the hardware field always holds *some* 2-bit value; vacancy is
+    derived from the OS frame map, not stored here).
+    """
+    if entry.group_size != GROUP_SIZE:
+        raise EncodingError(
+            f"entry format is fixed at {GROUP_SIZE} locations, got "
+            f"{entry.group_size}"
+        )
+    word = 0
+    for slot, location in enumerate(entry.loc_of_slot):
+        if not 0 <= location < (1 << ATB_BITS):
+            raise EncodingError(f"location {location} exceeds {ATB_BITS} bits")
+        word |= location << (_ATB_SHIFT + slot * ATB_BITS)
+    for slot, qac in enumerate(entry.qac):
+        if not 0 <= qac < (1 << QAC_BITS):
+            raise EncodingError(f"QAC {qac} exceeds {QAC_BITS} bits")
+        word |= qac << (_QAC_SHIFT + slot * QAC_BITS)
+    owner = entry.m1_owner if entry.m1_owner is not None else owner_bits
+    if not 0 <= owner < (1 << PID_BITS):
+        raise EncodingError(f"program id {owner} exceeds {PID_BITS} bits")
+    word |= owner << _PID_SHIFT
+    return word
+
+
+def decode_st_entry(word: int) -> STEntry:
+    """Unpack a 64-bit word produced by :func:`encode_st_entry`.
+
+    The translation permutation is rebuilt and verified (a corrupted
+    word with duplicate locations raises :class:`EncodingError`).
+    """
+    if not 0 <= word < (1 << 64):
+        raise EncodingError("entry word must fit 64 bits")
+    entry = STEntry(GROUP_SIZE)
+    locations = [
+        (word >> (_ATB_SHIFT + slot * ATB_BITS)) & ((1 << ATB_BITS) - 1)
+        for slot in range(GROUP_SIZE)
+    ]
+    if sorted(locations) != list(range(GROUP_SIZE)):
+        raise EncodingError(f"ATB field is not a permutation: {locations}")
+    entry.loc_of_slot = locations
+    entry.slot_of_loc = [0] * GROUP_SIZE
+    for slot, location in enumerate(locations):
+        entry.slot_of_loc[location] = slot
+    entry.qac = [
+        (word >> (_QAC_SHIFT + slot * QAC_BITS)) & ((1 << QAC_BITS) - 1)
+        for slot in range(GROUP_SIZE)
+    ]
+    entry.m1_owner = (word >> _PID_SHIFT) & ((1 << PID_BITS) - 1)
+    return entry
+
+
+def entry_to_bytes(entry: STEntry, owner_bits: int = 0) -> bytes:
+    """The 8-byte little-endian on-DRAM form of an entry."""
+    return encode_st_entry(entry, owner_bits).to_bytes(ENTRY_BYTES, "little")
+
+
+def entry_from_bytes(data: bytes) -> STEntry:
+    """Inverse of :func:`entry_to_bytes`."""
+    if len(data) != ENTRY_BYTES:
+        raise EncodingError(f"ST entries are {ENTRY_BYTES} bytes")
+    return decode_st_entry(int.from_bytes(data, "little"))
+
+
+def storage_overhead_bits() -> dict[str, int]:
+    """The Section 4.1 storage accounting, from the layout constants."""
+    return {
+        "atb_bits": GROUP_SIZE * ATB_BITS,
+        "qac_bits": GROUP_SIZE * QAC_BITS,
+        "pid_bits": PID_BITS,
+        "used_bits": _USED_BITS,
+        "entry_bits": ENTRY_BYTES * 8,
+        "reserved_bits": ENTRY_BYTES * 8 - _USED_BITS,
+    }

@@ -1,0 +1,406 @@
+"""The hardware memory controller of the flat migrating hybrid memory.
+
+Per request (Figure 1): look up the swap group's ST entry in the STC
+(fetching it from M1 on a miss — real channel traffic), translate the
+original block address to its actual location, account RSM and per-block
+access counters, issue the 64-B data request to the channel, and consult
+the migration policy.  A decided promotion commits when the triggering
+request completes (fast-swap semantics: the demand access is served from
+M2 first, then the blocks exchange while the channel is blocked).
+
+The controller is policy-agnostic: every scheme from
+:mod:`repro.policies` and :mod:`repro.core` runs on this identical
+organization, which is the paper's comparison methodology (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cache.stc import STC, STCEntry
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.common.events import EventQueue
+from repro.common.rng import make_rng
+from repro.common.units import cpu_cycles_from_ns
+from repro.core.rsm import RSM
+from repro.hybrid.address import AddressMap
+from repro.hybrid.regions import OSAllocator, RegionMap
+from repro.hybrid.st import SwapGroupTable
+from repro.mem.channel import Channel
+from repro.mem.power import EnergyMeter
+from repro.mem.request import MemRequest, RequestKind
+from repro.policies.base import AccessContext, MigrationPolicy
+
+CompletionCallback = Callable[[int], None]
+
+
+@dataclass
+class CoreMemStats:
+    """Per-core demand-traffic statistics (Figures 6, 16)."""
+
+    requests: int = 0
+    served_from_m1: int = 0
+    reads: int = 0
+    writes: int = 0
+    swaps_involving: int = 0
+
+    @property
+    def m1_fraction(self) -> float:
+        """Fraction of this core's requests served from M1 (Figure 6)."""
+        return self.served_from_m1 / self.requests if self.requests else 0.0
+
+
+@dataclass
+class _PendingFetch:
+    """An in-flight ST-entry fetch with the accesses waiting on it."""
+
+    continuations: list[Callable[[int], None]] = field(default_factory=list)
+
+
+class HybridMemoryController:
+    """Ties channels, ST/STC, regions, RSM, and a migration policy together."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        events: EventQueue,
+        policy: MigrationPolicy,
+        seed: int = 0,
+        track_rsm_regions: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        program_of_core: Optional[list[int]] = None,
+    ) -> None:
+        self.config = config
+        self.events = events
+        self.policy = policy
+        # Section 3.1.1: all threads of a multi-threaded program appear to
+        # RSM and MDM as a single program; the mapping below is the
+        # hardware lookup table that routes a core's requests to its
+        # program's counter sets.  Default: one single-threaded program
+        # per core.
+        if program_of_core is None:
+            program_of_core = list(range(config.num_cores))
+        if len(program_of_core) != config.num_cores:
+            raise ConfigError("program_of_core must name every core")
+        self.program_of_core = list(program_of_core)
+        self.num_programs = max(self.program_of_core) + 1
+        if set(self.program_of_core) != set(range(self.num_programs)):
+            raise ConfigError("program ids must be dense starting at 0")
+        self.address_map = AddressMap(config)
+        self.energy = EnergyMeter(config.energy, config.num_channels)
+        swap_latency = config.swap_latency_cycles()
+        self.channels = [
+            Channel(
+                events=events,
+                m1_timings=config.m1_timings,
+                m2_timings=config.m2_timings,
+                banks_per_rank=config.hybrid.banks_per_rank,
+                frfcfs_cap=config.frfcfs_cap,
+                energy=self.energy,
+                swap_latency=swap_latency,
+                lines_per_block=config.hybrid.lines_per_block,
+                row_idle_close=cpu_cycles_from_ns(config.row_idle_close_ns),
+            )
+            for _ in range(config.num_channels)
+        ]
+        self.st = SwapGroupTable(config.total_groups, config.hybrid.group_size)
+        self.stc = STC(
+            num_sets=config.stc.num_sets,
+            associativity=config.stc.associativity,
+            group_size=config.hybrid.group_size,
+            counter_max=config.mdm.access_counter_max,
+        )
+        self.stc.on_eviction(self._on_stc_eviction)
+        self.region_map = RegionMap(self.address_map, self.num_programs)
+        self.allocator = OSAllocator(
+            self.address_map,
+            self.region_map,
+            rng if rng is not None else make_rng(seed, "os-allocator"),
+        )
+        self.rsm = RSM(
+            config.rsm,
+            num_programs=self.num_programs,
+            num_regions=config.hybrid.num_regions,
+            track_regions=track_rsm_regions,
+        )
+        self.core_stats = [CoreMemStats() for _ in range(config.num_cores)]
+        self.total_swaps = 0
+        self._pending_fetches: dict[int, _PendingFetch] = {}
+        self._swap_pending: set[int] = set()
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # Public helpers used by policies and monitors
+    # ------------------------------------------------------------------
+    def owner_of_slot(self, group: int, slot: int) -> Optional[int]:
+        """Program owning the block with original home (group, slot)."""
+        block = self.address_map.block_of(group, slot)
+        return self.allocator.owner_of_block(block)
+
+    @property
+    def lines_per_block(self) -> int:
+        """64-B lines per 2-KB swap block."""
+        return self.address_map.lines_per_block
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        core_id: int,
+        line: int,
+        is_write: bool,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> None:
+        """Serve one 64-B demand request at an original physical ``line``."""
+        block = line // self.lines_per_block
+        group = self.address_map.group_of_block(block)
+        slot = self.address_map.slot_of_block(block)
+        now = self.events.now
+        start = now + self.config.stc.latency_cycles
+
+        def proceed(cycle: int) -> None:
+            self._serve(core_id, group, slot, is_write, on_complete, cycle)
+
+        if self.stc.lookup(group) is not None:
+            self.events.schedule(start, proceed)
+        else:
+            self._fetch_st_entry(core_id, group, proceed)
+
+    def _fetch_st_entry(
+        self, core_id: int, group: int, continuation: Callable[[int], None]
+    ) -> None:
+        """Fetch a missing ST entry from M1; coalesce concurrent misses."""
+        pending = self._pending_fetches.get(group)
+        if pending is not None:
+            pending.continuations.append(continuation)
+            return
+        pending = _PendingFetch(continuations=[continuation])
+        self._pending_fetches[group] = pending
+        location = self.address_map.st_location(group)
+
+        def on_fill(cycle: int) -> None:
+            st_entry = self.st.entry(group)
+            self.stc.insert(group, tuple(st_entry.qac))
+            fetch = self._pending_fetches.pop(group)
+            for waiting in fetch.continuations:
+                waiting(cycle)
+
+        request = MemRequest(
+            core_id=core_id,
+            address=location.address,
+            is_write=False,
+            arrival=self.events.now,
+            kind=RequestKind.ST_READ,
+            on_complete=on_fill,
+        )
+        self.channels[location.channel].enqueue(request)
+
+    def _serve(
+        self,
+        core_id: int,
+        group: int,
+        slot: int,
+        is_write: bool,
+        on_complete: Optional[CompletionCallback],
+        now: int,
+    ) -> None:
+        st_entry = self.st.entry(group)
+        stc_entry = self.stc.peek(group)
+        if stc_entry is None:
+            # Evicted between fill and serve by a competing access burst;
+            # re-fetch (rare, only under extreme STC pressure).
+            self._fetch_st_entry(
+                core_id,
+                group,
+                lambda cycle: self._serve(
+                    core_id, group, slot, is_write, on_complete, cycle
+                ),
+            )
+            return
+        location = st_entry.location_of(slot)
+        served_from_m1 = location == 0
+
+        # Per-block access counter (Figure 4), weighted per Section 4.1.
+        self.stc.bump(stc_entry, slot, self.policy.access_weight(is_write))
+
+        # RSM request counters (Table 3): one count per request, routed
+        # to the requesting core's *program* (Section 3.1.1).
+        program = self.program_of_core[core_id]
+        region = self.address_map.region_of_group(group)
+        self.rsm.on_request(
+            program,
+            region,
+            self.region_map.is_private_to(region, program),
+            served_from_m1,
+        )
+
+        stats = self.core_stats[core_id]
+        stats.requests += 1
+        if served_from_m1:
+            stats.served_from_m1 += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        self.energy.record_served_request()
+
+        # Migration decision (off the critical path, Section 3.2.3).
+        owner = self.owner_of_slot(group, slot)
+        ctx = AccessContext(
+            core_id=core_id,
+            group=group,
+            slot=slot,
+            location=location,
+            is_write=is_write,
+            owner=owner,
+            m1_owner=st_entry.m1_owner,
+            st_entry=st_entry,
+            stc_entry=stc_entry,
+            now=now,
+        )
+        promote_slot = self.policy.on_access(ctx)
+
+        block_location = self.address_map.data_location(group, location)
+
+        def on_data_complete(cycle: int) -> None:
+            if promote_slot is not None:
+                self.request_promotion(group, promote_slot)
+            if on_complete is not None:
+                on_complete(cycle)
+
+        request = MemRequest(
+            core_id=core_id,
+            address=block_location.address,
+            is_write=is_write,
+            arrival=now,
+            kind=RequestKind.DATA,
+            on_complete=on_data_complete,
+        )
+        self.channels[block_location.channel].enqueue(request)
+
+    # ------------------------------------------------------------------
+    # Swaps
+    # ------------------------------------------------------------------
+    def request_promotion(self, group: int, slot: int) -> bool:
+        """Promote ``slot``'s block into its group's M1 location.
+
+        Returns False when the promotion is moot (block already in M1) or
+        a swap for this group is still in flight.
+        """
+        if group in self._swap_pending:
+            return False
+        st_entry = self.st.entry(group)
+        if st_entry.location_of(slot) == 0:
+            return False
+        self._swap_pending.add(group)
+        demote_slot = st_entry.m1_slot
+        m2_location = st_entry.location_of(slot)
+        m1_address = self.address_map.data_location(group, 0)
+        m2_address = self.address_map.data_location(group, m2_location)
+
+        owner_promoted = self.owner_of_slot(group, slot)
+        owner_demoted = st_entry.m1_owner
+        was_identity = st_entry.is_identity()
+        st_entry.swap(slot, demote_slot)
+        st_entry.m1_owner = owner_promoted
+
+        region = self.address_map.region_of_group(group)
+        if not self.region_map.is_private(region):
+            # Swaps in private regions are not counted (Section 3.1.2).
+            self.rsm.on_swap(owner_promoted, owner_demoted)
+        for involved in {owner_promoted, owner_demoted}:
+            if involved is not None:
+                self.core_stats[involved].swaps_involving += 1
+        self.total_swaps += 1
+
+        def on_swap_done(cycle: int) -> None:
+            self._swap_pending.discard(group)
+
+        channel = self.channels[m1_address.channel]
+        if self.policy.slow_swaps and not was_identity:
+            # Slow swap type (Table 1): the group's original mapping must
+            # be restored before the new blocks exchange, costing an
+            # extra block-move pass on the channel.
+            channel.schedule_swap(
+                m1_bank=m1_address.address.bank,
+                m1_row=m1_address.address.row,
+                m2_bank=m2_address.address.bank,
+                m2_row=m2_address.address.row,
+            )
+        channel.schedule_swap(
+            m1_bank=m1_address.address.bank,
+            m1_row=m1_address.address.row,
+            m2_bank=m2_address.address.bank,
+            m2_row=m2_address.address.row,
+            on_complete=on_swap_done,
+        )
+        self.policy.on_swap(group, slot, demote_slot)
+        return True
+
+    # ------------------------------------------------------------------
+    # STC eviction handling
+    # ------------------------------------------------------------------
+    def _on_stc_eviction(self, stc_entry: STCEntry) -> None:
+        st_entry = self.st.entry(stc_entry.group)
+        self.policy.on_st_eviction(stc_entry, st_entry)
+        if any(count > 0 for count in stc_entry.counters):
+            # QAC values changed: write the ST entry back to M1 (the paper
+            # notes this read-modify-write is typical regardless, Sec. 3.2.1).
+            location = self.address_map.st_location(stc_entry.group)
+            request = MemRequest(
+                core_id=0,
+                address=location.address,
+                is_write=True,
+                arrival=self.events.now,
+                kind=RequestKind.ST_WRITE,
+            )
+            self.channels[location.channel].enqueue(request)
+
+    # ------------------------------------------------------------------
+    # End-of-run bookkeeping and aggregate statistics
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Flush the STC so final MDM statistics and QAC values land."""
+        self.stc.flush()
+
+    def total_requests(self) -> int:
+        """Demand requests served across all cores."""
+        return sum(stats.requests for stats in self.core_stats)
+
+    def swap_fraction(self) -> float:
+        """Swaps among all served requests (Section 5.4 reports this)."""
+        total = self.total_requests()
+        return self.total_swaps / total if total else 0.0
+
+    def average_read_latency(self) -> float:
+        """Mean demand-read latency in CPU cycles across channels."""
+        latency_sum = sum(c.stats.read_latency_sum for c in self.channels)
+        count = sum(c.stats.read_count for c in self.channels)
+        return latency_sum / count if count else 0.0
+
+    def stc_hit_rate(self) -> float:
+        """STC hit rate (Figure 7)."""
+        return self.stc.hit_rate
+
+    def m1_utilization(self) -> float:
+        """Fraction of M1 locations holding an allocated program's block.
+
+        Section 4.2 observes M1 reaching 80% utilization within the first
+        2% of execution; this is the corresponding measurement.
+        """
+        total = self.config.total_groups
+        occupied = 0
+        touched = set(self.st.touched_groups())
+        for group in range(total):
+            if group in touched:
+                m1_slot = self.st.entry(group).m1_slot
+            else:
+                m1_slot = 0  # identity mapping
+            if self.owner_of_slot(group, m1_slot) is not None:
+                occupied += 1
+        return occupied / total if total else 0.0

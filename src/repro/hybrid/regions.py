@@ -1,0 +1,152 @@
+"""Interleaved regions and OS page-frame allocation (Section 3.1.1).
+
+Memory is divided into ``num_regions`` interleaved regions along the swap
+groups (Figure 3).  One region per program is *private*: the OS allocates
+its page frames only to that program.  All other regions are *shared*.
+The OS keeps per-region free-frame lists; the memory controller decodes a
+request's region from the group number and the region map.
+
+The allocator hands frames to a program by rotating round-robin over its
+allowed regions, drawing from a per-region shuffled free list that mixes
+M1-home and M2-home segments.  This spreads every program's footprint
+nearly uniformly across regions and segments — the property RSM's
+private-region sampling relies on (Section 3.1.3) — while remaining a
+plausible first-touch OS policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.hybrid.address import AddressMap
+
+
+class RegionMap:
+    """Region typing: which region is private to which program."""
+
+    def __init__(self, address_map: AddressMap, num_programs: int) -> None:
+        if num_programs >= address_map.num_regions:
+            raise ConfigError("more programs than regions")
+        self._map = address_map
+        self.num_programs = num_programs
+        #: Program -> its private region.  Regions 0..num_programs-1 are
+        #: dedicated; the remainder are shared.
+        self.private_region = {pid: pid for pid in range(num_programs)}
+
+    def is_private_to(self, region: int, program: int) -> bool:
+        """True if ``region`` is ``program``'s own private region."""
+        return self.private_region.get(program) == region
+
+    def is_private(self, region: int) -> bool:
+        """True if ``region`` is private to any program."""
+        return region < self.num_programs
+
+    def allowed_regions(self, program: int) -> list[int]:
+        """Regions whose frames ``program`` may receive."""
+        return [self.private_region[program]] + [
+            region
+            for region in range(self._map.num_regions)
+            if not self.is_private(region)
+        ]
+
+
+class OSAllocator:
+    """Per-region free-frame accounting and program page allocation."""
+
+    def __init__(
+        self,
+        address_map: AddressMap,
+        region_map: RegionMap,
+        rng: np.random.Generator,
+    ) -> None:
+        self._map = address_map
+        self._regions = region_map
+        #: region -> stack of free frame numbers (pre-shuffled).
+        self._free: dict[int, list[int]] = {
+            region: [] for region in range(address_map.num_regions)
+        }
+        for page in range(address_map.total_pages):
+            self._free[address_map.region_of_page(page)].append(page)
+        for frames in self._free.values():
+            rng.shuffle(frames)
+        #: frame -> owning program.
+        self._owner: dict[int, int] = {}
+
+    def free_frames(self, region: int) -> int:
+        """Free frames remaining in ``region``."""
+        return len(self._free[region])
+
+    def allocate(self, program: int, num_pages: int) -> list[int]:
+        """Allocate ``num_pages`` frames to ``program``.
+
+        Frames rotate round-robin over the program's allowed regions
+        (private region included on equal footing), skipping exhausted
+        regions.  Raises SimulationError when memory is exhausted.
+        """
+        allowed = self._regions.allowed_regions(program)
+        frames: list[int] = []
+        cursor = 0
+        misses = 0
+        while len(frames) < num_pages:
+            region = allowed[cursor % len(allowed)]
+            cursor += 1
+            free = self._free[region]
+            if free:
+                frame = free.pop()
+                self._owner[frame] = program
+                frames.append(frame)
+                misses = 0
+            else:
+                misses += 1
+                if misses >= len(allowed):
+                    raise SimulationError(
+                        f"out of memory allocating page {len(frames)} of "
+                        f"{num_pages} for program {program}"
+                    )
+        return frames
+
+    def release(self, program: int, frames: Sequence[int]) -> None:
+        """Return frames to their regions' free lists."""
+        for frame in frames:
+            owner = self._owner.pop(frame, None)
+            if owner != program:
+                raise SimulationError(
+                    f"frame {frame} not owned by program {program}"
+                )
+            self._free[self._map.region_of_page(frame)].append(frame)
+
+    def owner_of_frame(self, frame: int) -> Optional[int]:
+        """Program owning a frame, or None if free."""
+        return self._owner.get(frame)
+
+    def owner_of_block(self, block: int) -> Optional[int]:
+        """Program owning an original block address, or None."""
+        return self._owner.get(self._map.page_of_block(block))
+
+
+class PageTable:
+    """One program's virtual-to-physical page mapping.
+
+    Programs address their footprint with virtual page numbers 0..N-1;
+    the constructor pre-allocates all frames (the traces' working sets
+    are touched quickly, so first-touch and pre-allocation coincide).
+    """
+
+    def __init__(
+        self, program: int, allocator: OSAllocator, num_pages: int
+    ) -> None:
+        self.program = program
+        self._frames = allocator.allocate(program, num_pages)
+
+    @property
+    def num_pages(self) -> int:
+        """Pages in this program's footprint."""
+        return len(self._frames)
+
+    def translate_line(self, virtual_line: int, lines_per_page: int) -> int:
+        """Virtual 64-B line number -> physical (original) line number."""
+        vpage, offset = divmod(virtual_line, lines_per_page)
+        return self._frames[vpage % self.num_pages] * lines_per_page + offset

@@ -1,0 +1,44 @@
+"""The Swap-group Table: one entry per swap group, stored in M1.
+
+Entries are created lazily on first touch, which keeps start-up cheap for
+large configurations while preserving the abstraction of a fully populated
+table (an untouched entry is the identity mapping).
+"""
+
+from __future__ import annotations
+
+from repro.hybrid.st_entry import STEntry
+
+
+class SwapGroupTable:
+    """Lazily materialized array of :class:`STEntry`."""
+
+    def __init__(self, total_groups: int, group_size: int) -> None:
+        self.total_groups = total_groups
+        self.group_size = group_size
+        self._entries: dict[int, STEntry] = {}
+
+    def entry(self, group: int) -> STEntry:
+        """The ST entry for ``group`` (created on first touch)."""
+        if not 0 <= group < self.total_groups:
+            raise IndexError(f"group {group} out of range")
+        entry = self._entries.get(group)
+        if entry is None:
+            entry = STEntry(self.group_size)
+            self._entries[group] = entry
+        return entry
+
+    def touched_groups(self) -> list[int]:
+        """Groups whose entries have been materialized."""
+        return sorted(self._entries)
+
+    def migrated_groups(self) -> list[int]:
+        """Groups whose mapping is no longer the identity."""
+        return sorted(
+            group
+            for group, entry in self._entries.items()
+            if not entry.is_identity()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

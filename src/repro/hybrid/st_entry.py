@@ -1,0 +1,66 @@
+"""One Swap-group Table entry (Figure 4).
+
+An ST entry records, for each of the group's nine original blocks (slots),
+which physical location the block currently occupies (the Address
+Translation Bits), the block's 2-bit Quantized Access Counter value, and
+the program ID of the block resident in the group's M1 location.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import SimulationError
+
+
+class STEntry:
+    """Mutable per-group translation state.
+
+    ``loc_of_slot[s]`` gives the location (0 = M1, 1.. = M2) holding the
+    block whose original home is slot ``s``; ``slot_of_loc`` is the inverse
+    permutation.  Both start as the identity (no migrations yet).
+    """
+
+    __slots__ = ("loc_of_slot", "slot_of_loc", "qac", "m1_owner")
+
+    def __init__(self, group_size: int) -> None:
+        self.loc_of_slot = list(range(group_size))
+        self.slot_of_loc = list(range(group_size))
+        self.qac = [0] * group_size
+        #: Program whose block is in the M1 location (c_M1, Section 3.3);
+        #: None while that block belongs to no allocated page.
+        self.m1_owner: Optional[int] = None
+
+    @property
+    def group_size(self) -> int:
+        """Locations (and slots) in this group."""
+        return len(self.loc_of_slot)
+
+    def location_of(self, slot: int) -> int:
+        """Current location of the block with original home ``slot``."""
+        return self.loc_of_slot[slot]
+
+    def slot_at(self, location: int) -> int:
+        """Original slot of the block currently at ``location``."""
+        return self.slot_of_loc[location]
+
+    @property
+    def m1_slot(self) -> int:
+        """Slot of the block currently residing in M1 (location 0)."""
+        return self.slot_of_loc[0]
+
+    def is_in_m1(self, slot: int) -> bool:
+        """True if the block of ``slot`` currently occupies the M1 location."""
+        return self.loc_of_slot[slot] == 0
+
+    def swap(self, slot_a: int, slot_b: int) -> None:
+        """Exchange the physical locations of two blocks (a fast swap)."""
+        if slot_a == slot_b:
+            raise SimulationError("cannot swap a slot with itself")
+        loc_a, loc_b = self.loc_of_slot[slot_a], self.loc_of_slot[slot_b]
+        self.loc_of_slot[slot_a], self.loc_of_slot[slot_b] = loc_b, loc_a
+        self.slot_of_loc[loc_a], self.slot_of_loc[loc_b] = slot_b, slot_a
+
+    def is_identity(self) -> bool:
+        """True when no block has moved from its original home."""
+        return all(loc == slot for slot, loc in enumerate(self.loc_of_slot))

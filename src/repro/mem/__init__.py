@@ -1,0 +1,24 @@
+"""Off-chip memory device model.
+
+Implements the request-level timing substrate the paper obtained from a
+modified DRAMSim2: banks with open-page row buffers, a shared per-channel
+data bus, FR-FCFS-Cap scheduling, channel-blocking 2-KB swaps, and an
+activate/burst/background energy model.
+"""
+
+from repro.mem.request import DeviceAddress, MemRequest, Module, RequestKind
+from repro.mem.bank import Bank
+from repro.mem.channel import Channel
+from repro.mem.power import EnergyMeter
+from repro.mem.scheduler import FrFcfsCapScheduler
+
+__all__ = [
+    "Bank",
+    "Channel",
+    "DeviceAddress",
+    "EnergyMeter",
+    "FrFcfsCapScheduler",
+    "MemRequest",
+    "Module",
+    "RequestKind",
+]

@@ -1,0 +1,50 @@
+"""Bank state: open row tracking and availability."""
+
+from __future__ import annotations
+
+
+class Bank:
+    """One memory bank with an open-page row buffer.
+
+    Tracks the currently open row, whether it has absorbed writes (a
+    *dirty* row buffer pays the write-recovery time ``tWR`` before it can
+    be precharged — the cost that makes NVM writes expensive at row
+    granularity rather than per burst), and the cycle at which the bank
+    can begin the next command sequence.  The channel computes command
+    timing; the bank only records state.
+    """
+
+    __slots__ = ("open_row", "ready_at", "dirty", "closed_until")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        self.ready_at: int = 0
+        self.dirty: bool = False
+        #: Set when the idle-close policy precharges the row in the
+        #: background: the bank cannot activate again before this cycle
+        #: (covers the precharge and, for a dirty row, write recovery).
+        self.closed_until: int = 0
+
+    def is_row_hit(self, row: int) -> bool:
+        """True if ``row`` is already open in the row buffer."""
+        return self.open_row == row
+
+    def open(self, row: int, ready_at: int, dirty: bool = False) -> None:
+        """Record that ``row`` is now open and the bank busy until ready_at."""
+        self.open_row = row
+        self.ready_at = ready_at
+        self.dirty = dirty
+
+    def mark_dirty(self) -> None:
+        """The open row absorbed a write; closing it will cost tWR."""
+        self.dirty = True
+
+    def reserve(self, ready_at: int) -> None:
+        """Extend the bank's busy window without changing the open row."""
+        if ready_at > self.ready_at:
+            self.ready_at = ready_at
+
+    def close(self) -> None:
+        """Precharge: no row open."""
+        self.open_row = None
+        self.dirty = False

@@ -1,0 +1,329 @@
+"""One memory channel with an M1 module and an M2 module (Figure 1).
+
+The model is request-level and event-driven: each 64-B request picks up
+bank-preparation latency (precharge + activate on a row miss, CAS only on a
+row hit), then occupies the shared channel data bus for one burst.  Bank
+preparation of the next request overlaps the current burst, which captures
+the bank-level parallelism the open-page FR-FCFS-Cap controller exploits,
+while the single data bus serializes transfers from the two modules, which
+is what makes M2 traffic and swaps interfere with M1 traffic.
+
+Swaps block the channel for the analytic swap latency (Section 4.1), and
+row-buffer hits do not bypass the FR-FCFS-Cap ordering across a swap (the
+paper modifies the scheduler to ignore row hits during swaps).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.common.config import MemTimings
+from repro.common.events import EventQueue
+from repro.mem.bank import Bank
+from repro.mem.power import EnergyMeter
+from repro.mem.request import MemRequest, Module, RequestKind
+from repro.mem.scheduler import FrFcfsCapScheduler
+
+
+class ChannelStats:
+    """Per-channel served-traffic statistics."""
+
+    __slots__ = (
+        "reads",
+        "writes",
+        "row_hits",
+        "swaps",
+        "read_latency_sum",
+        "read_count",
+        "st_reads",
+        "st_writes",
+        "refreshes",
+    )
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.swaps = 0
+        self.read_latency_sum = 0
+        self.read_count = 0
+        self.st_reads = 0
+        self.st_writes = 0
+        self.refreshes = 0
+
+    @property
+    def average_read_latency(self) -> float:
+        """Mean read latency in CPU cycles (queueing included)."""
+        if self.read_count == 0:
+            return 0.0
+        return self.read_latency_sum / self.read_count
+
+
+class Channel:
+    """A memory channel shared by one M1 rank and one M2 rank."""
+
+    def __init__(
+        self,
+        events: EventQueue,
+        m1_timings: MemTimings,
+        m2_timings: MemTimings,
+        banks_per_rank: int,
+        frfcfs_cap: int,
+        energy: Optional[EnergyMeter] = None,
+        swap_latency: int = 0,
+        lines_per_block: int = 32,
+        row_idle_close: int = 0,
+    ) -> None:
+        self._events = events
+        self._timings = {Module.M1: m1_timings, Module.M2: m2_timings}
+        self._banks = {
+            Module.M1: [Bank() for _ in range(banks_per_rank)],
+            Module.M2: [Bank() for _ in range(banks_per_rank)],
+        }
+        self._scheduler = FrFcfsCapScheduler(frfcfs_cap)
+        self._energy = energy
+        self._swap_latency = swap_latency
+        self._lines_per_block = lines_per_block
+        self._row_idle_close = row_idle_close
+        self._pending: deque[MemRequest] = deque()
+        self._write_queue: deque[MemRequest] = deque()
+        self._write_accept_waiters: deque = deque()
+        self._draining_writes = False
+        self._next_refresh = {
+            Module.M1: m1_timings.t_refi or (1 << 62),
+            Module.M2: m2_timings.t_refi or (1 << 62),
+        }
+        self._bus_free_at = 0
+        self._blocked_until = 0
+        self._tick_scheduled = False
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def enqueue(self, request: MemRequest) -> None:
+        """Accept a request.
+
+        Reads complete (``on_complete``) at the end of their data burst.
+        Writes are *posted*: they buffer in the controller's write queue,
+        their ``on_complete`` fires at acceptance, and the queue drains in
+        batches under a watermark policy with read priority.  When the
+        write queue is full, acceptance (and thus the issuing core's
+        store buffer) backpressures until entries drain.
+        """
+        if request.is_write:
+            self._write_queue.append(request)
+            acceptance = request.on_complete
+            request.on_complete = None
+            if acceptance is not None:
+                if len(self._write_queue) <= self.WRITE_QUEUE_CAP:
+                    self._events.schedule(self._events.now, acceptance)
+                else:
+                    self._write_accept_waiters.append(acceptance)
+        else:
+            self._pending.append(request)
+        self._kick(self._events.now)
+
+    def queue_depth(self) -> int:
+        """Pending (unscheduled) requests, reads + buffered writes."""
+        return len(self._pending) + len(self._write_queue)
+
+    def _kick(self, now: int) -> None:
+        if self._tick_scheduled:
+            return
+        if not self._pending and not self._write_queue:
+            return
+        self._tick_scheduled = True
+        self._events.schedule(max(now, self._events.now), self._tick)
+
+    def _is_row_hit(self, request: MemRequest) -> bool:
+        bank = self._banks[request.address.module][request.address.bank]
+        return bank.is_row_hit(request.address.row)
+
+    #: Command-bus gap between consecutive scheduling decisions: one
+    #: channel cycle (4 CPU cycles at 3.2/0.8 GHz).  Banks prepare in
+    #: parallel; only command issue and the data bus serialize.
+    CMD_GAP = 4
+    #: Write-queue watermarks: start draining writes when the queue
+    #: reaches the high mark (or no reads are waiting), stop at the low
+    #: mark — the standard read-priority write-buffering discipline.
+    WRITE_QUEUE_HIGH = 24
+    WRITE_QUEUE_LOW = 8
+    #: Posted-write acceptance backpressures beyond this depth.
+    WRITE_QUEUE_CAP = 32
+
+    def _select_queue(self) -> deque:
+        """Pick reads or buffered writes for the next decision."""
+        if not self._pending:
+            self._draining_writes = bool(self._write_queue)
+            return self._write_queue
+        if len(self._write_queue) >= self.WRITE_QUEUE_HIGH:
+            self._draining_writes = True
+        elif self._draining_writes and len(self._write_queue) <= self.WRITE_QUEUE_LOW:
+            self._draining_writes = False
+        return self._write_queue if self._draining_writes else self._pending
+
+    def _tick(self, now: int) -> None:
+        self._tick_scheduled = False
+        if not self._pending and not self._write_queue:
+            return
+        queue = self._select_queue()
+        if not queue:
+            queue = self._pending or self._write_queue
+        index = self._scheduler.select(list(queue), self._is_row_hit)
+        request = queue[index]
+        del queue[index]
+        if (
+            self._write_accept_waiters
+            and len(self._write_queue) <= self.WRITE_QUEUE_CAP
+        ):
+            self._events.schedule(now, self._write_accept_waiters.popleft())
+        self._issue(request, now)
+        if self._pending or self._write_queue:
+            self._tick_scheduled = True
+            self._events.schedule(now + self.CMD_GAP, self._tick)
+
+    def _refresh_if_due(self, module: Module, now: int) -> None:
+        """Apply any refresh cycles that elapsed on ``module`` by ``now``.
+
+        Refresh is all-bank: every bank closes its row and stays busy for
+        tRFC.  M2 (NVM) configures t_refi = 0 and never refreshes
+        (Section 4.1).  Processing lazily at request issue is exact for
+        timing because refresh only matters when traffic arrives.
+        """
+        timings = self._timings[module]
+        if timings.t_refi == 0:
+            return
+        while now >= self._next_refresh[module]:
+            start = self._next_refresh[module]
+            end = start + timings.t_rfc
+            for bank in self._banks[module]:
+                bank.close()
+                bank.reserve(end)
+            self._next_refresh[module] = start + timings.t_refi
+            self.stats.refreshes += 1
+            if self._energy is not None:
+                self._energy.record_refresh()
+
+    def _issue(self, request: MemRequest, now: int) -> None:
+        """Schedule one request's commands and data burst."""
+        address = request.address
+        timings = self._timings[address.module]
+        self._refresh_if_due(address.module, now)
+        bank = self._banks[address.module][address.bank]
+
+        prep_start = max(now, bank.ready_at, self._blocked_until)
+        if (
+            bank.open_row is not None
+            and self._row_idle_close > 0
+            and prep_start - bank.ready_at >= self._row_idle_close
+        ):
+            # Adaptive page policy: the controller precharged this idle row
+            # in the background.  The precharge (and write recovery, for a
+            # dirty row) happened off the critical path; only its tail can
+            # still delay a prompt re-activation.
+            close_began = bank.ready_at + self._row_idle_close
+            penalty = timings.t_rp + (timings.t_wr if bank.dirty else 0)
+            bank.closed_until = close_began + penalty
+            bank.close()
+        if bank.is_row_hit(address.row):
+            # Row-buffer hit: CAS only; writes land in the row buffer and
+            # defer their cell-write cost to the eventual precharge.
+            request.row_hit = True
+            data_ready = prep_start + timings.cl
+        else:
+            request.row_hit = False
+            precharge = 0
+            if bank.open_row is not None:
+                precharge = timings.t_rp
+                if bank.dirty:
+                    # Write recovery: the dirty row must finish writing to
+                    # the array before the precharge (tWR_M2 = 275 ns makes
+                    # this the dominant NVM write cost, Section 4.1).
+                    precharge += timings.t_wr
+            elif bank.closed_until > prep_start:
+                precharge = bank.closed_until - prep_start
+            data_ready = prep_start + precharge + timings.t_rcd + timings.cl
+            if self._energy is not None:
+                self._energy.record_activate(address.module)
+        burst_start = max(data_ready, self._bus_free_at)
+        burst_end = burst_start + timings.line_burst
+        self._bus_free_at = burst_end
+
+        was_dirty_hit = request.row_hit and bank.dirty
+        bank.open(
+            address.row,
+            burst_end,
+            dirty=request.is_write or was_dirty_hit,
+        )
+
+        request.completion = burst_end
+        self._record(request, burst_end)
+        if request.on_complete is not None:
+            self._events.schedule(burst_end, request.on_complete)
+
+    def _record(self, request: MemRequest, completion: int) -> None:
+        stats = self.stats
+        if request.kind is RequestKind.ST_READ:
+            stats.st_reads += 1
+        elif request.kind is RequestKind.ST_WRITE:
+            stats.st_writes += 1
+        if request.is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+            if request.kind is RequestKind.DATA:
+                # Latency statistics track demand reads only (AMMAT).
+                stats.read_latency_sum += completion - request.arrival
+                stats.read_count += 1
+        if request.row_hit:
+            stats.row_hits += 1
+        if self._energy is not None:
+            self._energy.record_line(request.address.module, request.is_write)
+
+    # ------------------------------------------------------------------
+    # Swaps
+    # ------------------------------------------------------------------
+    def schedule_swap(
+        self,
+        m1_bank: int,
+        m1_row: int,
+        m2_bank: int,
+        m2_row: int,
+        on_complete: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        """Block the channel for one 2-KB/2-KB swap; returns completion cycle.
+
+        The swap starts once the bus and any earlier swap finish.  Involved
+        banks end with the respective rows open (the blocks were just
+        rewritten), and the FR-FCFS-Cap row-hit streak is reset, modelling
+        the paper's modification of ignoring row hits during swaps.
+        """
+        now = self._events.now
+        start = max(now, self._bus_free_at, self._blocked_until)
+        end = start + self._swap_latency
+        self._blocked_until = end
+        self._bus_free_at = end
+        # Both blocks were just rewritten: the involved rows end up open
+        # and dirty (their array write-back is pending).
+        self._banks[Module.M1][m1_bank].open(m1_row, end, dirty=True)
+        self._banks[Module.M2][m2_bank].open(m2_row, end, dirty=True)
+        self._scheduler.reset_streak()
+        self.stats.swaps += 1
+        if self._energy is not None:
+            lines = self._lines_per_block
+            self._energy.record_activate(Module.M1)
+            self._energy.record_activate(Module.M2)
+            self._energy.record_line(Module.M1, is_write=False, count=lines)
+            self._energy.record_line(Module.M2, is_write=False, count=lines)
+            self._energy.record_line(Module.M1, is_write=True, count=lines)
+            self._energy.record_line(Module.M2, is_write=True, count=lines)
+        if on_complete is not None:
+            self._events.schedule(end, on_complete)
+        return end
+
+    @property
+    def blocked_until(self) -> int:
+        """Cycle until which the channel is blocked by a swap."""
+        return self._blocked_until

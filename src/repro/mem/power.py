@@ -1,0 +1,81 @@
+"""Off-chip memory energy accounting (Figures 12 and 15).
+
+The paper reports energy efficiency as requests served per second per watt,
+using power reported by the memory simulator.  We accumulate dynamic energy
+per event (activates and 64-B line transfers per module) plus background
+power integrated over simulated time, and expose requests/J, which equals
+requests per second per watt.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import EnergyConfig
+from repro.common.units import NS_PER_CPU_CYCLE
+from repro.mem.request import Module
+
+
+class EnergyMeter:
+    """Accumulates memory-system energy for one simulation."""
+
+    def __init__(self, config: EnergyConfig, num_channels: int) -> None:
+        self._config = config
+        self._num_channels = num_channels
+        self.activates = {Module.M1: 0, Module.M2: 0}
+        self.line_reads = {Module.M1: 0, Module.M2: 0}
+        self.line_writes = {Module.M1: 0, Module.M2: 0}
+        self.refreshes = 0
+        self.requests_served = 0
+
+    def record_activate(self, module: Module) -> None:
+        """One row activation on ``module``."""
+        self.activates[module] += 1
+
+    def record_line(self, module: Module, is_write: bool, count: int = 1) -> None:
+        """``count`` 64-B line transfers on ``module``."""
+        if is_write:
+            self.line_writes[module] += count
+        else:
+            self.line_reads[module] += count
+
+    def record_refresh(self) -> None:
+        """One all-bank refresh cycle (M1 only; NVM has no refresh)."""
+        self.refreshes += 1
+
+    def record_served_request(self, count: int = 1) -> None:
+        """Count demand requests for the requests/J numerator."""
+        self.requests_served += count
+
+    def dynamic_energy_nj(self) -> float:
+        """Total dynamic energy in nanojoules."""
+        c = self._config
+        return (
+            self.activates[Module.M1] * c.m1_activate_nj
+            + self.activates[Module.M2] * c.m2_activate_nj
+            + self.line_reads[Module.M1] * c.m1_read_line_nj
+            + self.line_writes[Module.M1] * c.m1_write_line_nj
+            + self.line_reads[Module.M2] * c.m2_read_line_nj
+            + self.line_writes[Module.M2] * c.m2_write_line_nj
+            + self.refreshes * c.m1_refresh_nj
+        )
+
+    def background_energy_nj(self, elapsed_cycles: int) -> float:
+        """Background energy over the run, in nanojoules.
+
+        Background power is per channel (one M1 + one M2 module each).
+        """
+        c = self._config
+        seconds = elapsed_cycles * NS_PER_CPU_CYCLE * 1e-9
+        watts = (c.m1_background_mw + c.m2_background_mw) * 1e-3
+        return watts * self._num_channels * seconds * 1e9
+
+    def total_energy_j(self, elapsed_cycles: int) -> float:
+        """Total memory-system energy in joules."""
+        nj = self.dynamic_energy_nj() + self.background_energy_nj(elapsed_cycles)
+        return nj * 1e-9
+
+    def efficiency_requests_per_joule(self, elapsed_cycles: int) -> float:
+        """Requests per joule == requests per second per watt."""
+        energy = self.total_energy_j(elapsed_cycles)
+        if energy <= 0:
+            return 0.0
+        return self.requests_served / energy

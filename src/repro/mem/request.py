@@ -1,0 +1,67 @@
+"""Memory request and device-address types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, Optional
+
+
+class Module(IntEnum):
+    """Which module on the channel serves a request (Figure 1)."""
+
+    M1 = 0
+    M2 = 1
+
+
+class RequestKind(IntEnum):
+    """What a request carries.
+
+    DATA requests come from the cores; ST_READ/ST_WRITE are the memory
+    controller's own traffic for Swap-group Table entries stored in M1
+    (Section 2.2).
+    """
+
+    DATA = 0
+    ST_READ = 1
+    ST_WRITE = 2
+
+
+@dataclass(frozen=True)
+class DeviceAddress:
+    """Bank/row coordinates of a 64-B line inside one module.
+
+    ``row`` is a device-local row identifier; the ST area of M1 uses a
+    disjoint (negative) row namespace so table traffic and data traffic
+    contend for banks realistically without aliasing rows.
+    """
+
+    module: Module
+    bank: int
+    row: int
+
+
+@dataclass
+class MemRequest:
+    """One 64-B request presented to a channel.
+
+    ``on_complete`` is invoked once, with the completion cycle, when the
+    data burst for this request finishes (reads) or when the write is
+    accepted onto the data bus (writes are posted).
+    """
+
+    core_id: int
+    address: DeviceAddress
+    is_write: bool
+    arrival: int
+    kind: RequestKind = RequestKind.DATA
+    on_complete: Optional[Callable[[int], None]] = None
+    #: Set by the channel when the request is scheduled.
+    completion: int = field(default=-1, init=False)
+    #: True if the access hit in the open row buffer.
+    row_hit: bool = field(default=False, init=False)
+
+    @property
+    def served_from_m1(self) -> bool:
+        """Whether this request was served by the M1 (DRAM) module."""
+        return self.address.module is Module.M1

@@ -1,0 +1,52 @@
+"""FR-FCFS-Cap request scheduling (Section 4.1).
+
+The memory controller uses First-Ready FCFS with a cap: among pending
+requests, row-buffer hits are prioritized over misses, but at most
+``cap`` consecutive row hits may be served before the oldest request is
+picked regardless, bounding starvation of row-miss requests (Mutlu &
+Moscibroda's FR-FCFS-Cap, cap = 4 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.mem.request import MemRequest
+
+
+class FrFcfsCapScheduler:
+    """Selects the next request to issue from a pending queue."""
+
+    def __init__(self, cap: int = 4) -> None:
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.cap = cap
+        self._consecutive_hits = 0
+
+    def reset_streak(self) -> None:
+        """Forget the current row-hit streak (used across swaps)."""
+        self._consecutive_hits = 0
+
+    def select(
+        self,
+        pending: Sequence[MemRequest],
+        is_row_hit: Callable[[MemRequest], bool],
+    ) -> int:
+        """Return the index of the request to issue next.
+
+        ``pending`` must be in arrival order (index 0 = oldest).  The
+        chosen request's hit/miss status updates the streak counter.
+        """
+        if not pending:
+            raise ValueError("select called with no pending requests")
+        chosen = 0
+        if self._consecutive_hits < self.cap:
+            for index, request in enumerate(pending):
+                if is_row_hit(request):
+                    chosen = index
+                    break
+        if is_row_hit(pending[chosen]):
+            self._consecutive_hits += 1
+        else:
+            self._consecutive_hits = 0
+        return chosen

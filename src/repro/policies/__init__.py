@@ -1,0 +1,52 @@
+"""Migration policies: the four baselines of Table 2 plus a no-migration
+policy.  The paper's own policies (MDM, ProFess) live in :mod:`repro.core`
+but implement the same :class:`~repro.policies.base.MigrationPolicy`
+interface, so every scheme runs on the identical organization — the
+methodological point of Section 2.3."""
+
+from repro.policies.base import AccessContext, MigrationPolicy
+from repro.policies.static import StaticPolicy
+from repro.policies.cameo import CameoPolicy
+from repro.policies.pom import PoMPolicy
+from repro.policies.silcfm import SilcFMPolicy
+from repro.policies.mempod import MemPodPolicy
+
+__all__ = [
+    "AccessContext",
+    "CameoPolicy",
+    "MemPodPolicy",
+    "MigrationPolicy",
+    "PoMPolicy",
+    "SilcFMPolicy",
+    "StaticPolicy",
+]
+
+
+def make_policy(name: str, config) -> MigrationPolicy:
+    """Factory for policies by canonical name (baselines and paper schemes).
+
+    Recognized names: ``static``, ``cameo``, ``pom``, ``silcfm``,
+    ``mempod``, ``mdm``, ``profess``, and the extension ``rsm-pom``
+    (RSM guidance wrapped around PoM, Section 6's suggestion).
+    """
+    from repro.core.mdm import MDMPolicy
+    from repro.core.profess import ProFessPolicy
+    from repro.core.rsm_guided import RSMGuidedPoMPolicy
+
+    factories = {
+        "static": StaticPolicy,
+        "cameo": CameoPolicy,
+        "pom": PoMPolicy,
+        "silcfm": SilcFMPolicy,
+        "mempod": MemPodPolicy,
+        "mdm": MDMPolicy,
+        "profess": ProFessPolicy,
+        "rsm-pom": RSMGuidedPoMPolicy,
+    }
+    try:
+        factory = factories[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(factories)}"
+        ) from None
+    return factory(config)

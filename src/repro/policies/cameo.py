@@ -1,0 +1,33 @@
+"""CAMEO-style migration: promote on first access (Table 2).
+
+CAMEO uses a global threshold of one access — every M2 access triggers a
+swap with the group's M1 resident.  The original proposal operates on 64-B
+blocks in a 1:3 organization; here it runs on the common PoM organization
+(Section 2.3 argues address-mapping choices are orthogonal to migration
+algorithms), which isolates exactly the property the paper criticizes:
+swapping two ping-ponging blocks on every access.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import SystemConfig
+from repro.policies.base import AccessContext, MigrationPolicy
+
+
+class CameoPolicy(MigrationPolicy):
+    """Global threshold of one access."""
+
+    name = "cameo"
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        self._threshold = config.cameo.threshold
+
+    def on_access(self, ctx: AccessContext) -> Optional[int]:
+        if ctx.in_m1:
+            return None
+        if ctx.stc_entry.count(ctx.slot) >= self._threshold:
+            return ctx.slot
+        return None

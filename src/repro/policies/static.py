@@ -1,0 +1,21 @@
+"""No-migration policy: data stays where the OS allocated it.
+
+Used as a sanity baseline in tests and examples — any reasonable migration
+algorithm should beat it on M1-starved workloads, and it bounds the cost
+side (zero swaps) for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.policies.base import AccessContext, MigrationPolicy
+
+
+class StaticPolicy(MigrationPolicy):
+    """Never migrate anything."""
+
+    name = "static"
+
+    def on_access(self, ctx: AccessContext) -> Optional[int]:
+        return None

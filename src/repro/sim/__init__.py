@@ -1,0 +1,21 @@
+"""Simulation driver and figures of merit."""
+
+from repro.sim.results import ProgramResult, SimulationResult
+from repro.sim.engine import SimulationDriver
+from repro.sim.validation import ValidationError, validate_controller
+from repro.sim.metrics import (
+    slowdown,
+    unfairness,
+    weighted_speedup,
+)
+
+__all__ = [
+    "ProgramResult",
+    "SimulationDriver",
+    "SimulationResult",
+    "ValidationError",
+    "validate_controller",
+    "slowdown",
+    "unfairness",
+    "weighted_speedup",
+]

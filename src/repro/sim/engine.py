@@ -1,0 +1,222 @@
+"""The simulation driver: cores + page tables + controller + event loop.
+
+Implements the paper's measurement methodology (Section 4.2): in a
+multiprogrammed run, programs that finish their trace before the slowest
+one are restarted ("we repeat programs that complete faster than the
+slowest one, ensuring competition for M1"), and the run ends when the
+last program completes its first pass.  Per-program IPC is instructions
+retired over elapsed cycles at that instant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.common.events import EventQueue
+from repro.cpu.core_model import TraceCore
+from repro.cpu.trace import Trace
+from repro.hybrid.memory import HybridMemoryController
+from repro.hybrid.regions import PageTable
+from repro.policies import make_policy
+from repro.policies.base import MigrationPolicy
+from repro.sim.results import ProgramResult, SimulationResult
+from repro.traces.generator import LINES_PER_PAGE
+
+#: Hard ceiling on processed events, to catch runaway simulations.
+MAX_EVENTS = 2_000_000_000
+
+
+class SimulationDriver:
+    """Builds and runs one simulation."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: Union[str, MigrationPolicy],
+        traces: Sequence[tuple[str, Trace]],
+        seed: int = 0,
+        track_rsm_regions: bool = False,
+        max_cycles: Optional[int] = None,
+        program_of_core: Optional[Sequence[int]] = None,
+        warmup_requests: int = 0,
+    ) -> None:
+        if not traces:
+            raise SimulationError("need at least one (name, trace) pair")
+        if len(traces) > config.num_cores:
+            raise SimulationError(
+                f"{len(traces)} programs but only {config.num_cores} cores"
+            )
+        self.config = config
+        self.traces = list(traces)
+        self.events = EventQueue()
+        self.policy = (
+            make_policy(policy, config) if isinstance(policy, str) else policy
+        )
+        # Section 3.1.1: threads of a multi-threaded program share one
+        # program id (counter sets, private region, address space).  The
+        # default maps each trace to its own single-threaded program.
+        if program_of_core is None:
+            program_of_core = list(range(len(self.traces)))
+        if len(program_of_core) != len(self.traces):
+            raise SimulationError("program_of_core must cover every trace")
+        self.program_of_core = list(program_of_core)
+        # Idle cores (fewer traces than cores) map to program 0; they
+        # issue no requests, so the mapping only keeps the id space dense.
+        controller_map = self.program_of_core + [0] * (
+            config.num_cores - len(self.traces)
+        )
+        self.controller = HybridMemoryController(
+            config,
+            self.events,
+            self.policy,
+            seed=seed,
+            track_rsm_regions=track_rsm_regions,
+            program_of_core=controller_map,
+        )
+        # One page table per program; threads share their program's
+        # virtual address space, sized for the largest thread trace.
+        footprint_pages_by_program: dict[int, int] = {}
+        for core_id, (_name, trace) in enumerate(self.traces):
+            program = self.program_of_core[core_id]
+            pages = trace.max_line() // LINES_PER_PAGE + 1
+            footprint_pages_by_program[program] = max(
+                footprint_pages_by_program.get(program, 0), pages
+            )
+        self._program_tables = {
+            program: PageTable(
+                program=program,
+                allocator=self.controller.allocator,
+                num_pages=pages,
+            )
+            for program, pages in sorted(footprint_pages_by_program.items())
+        }
+        self.page_tables = [
+            self._program_tables[self.program_of_core[core_id]]
+            for core_id in range(len(self.traces))
+        ]
+        self.cores = [
+            TraceCore(
+                core_id=core_id,
+                config=config.core,
+                trace=trace,
+                events=self.events,
+                access=self._access,
+                on_pass_complete=self._on_pass_complete,
+            )
+            for core_id, (_name, trace) in enumerate(self.traces)
+        ]
+        self._first_pass_done = [False] * len(self.cores)
+        self._end_cycle: Optional[int] = None
+        self._instruction_snapshot: Optional[list[int]] = None
+        self._max_cycles = max_cycles
+        # Optional measurement warm-up (Section 4.2 observes M1 filling
+        # within the first few percent of execution): IPC is measured
+        # from the moment the first ``warmup_requests`` demand requests
+        # have been served.
+        self._warmup_requests = warmup_requests
+        self._warmup_cycle = 0
+        self._warmup_instructions = [0] * len(self.cores)
+        self._warmed = warmup_requests <= 0
+
+    # ------------------------------------------------------------------
+    def _access(self, core_id, virtual_line, is_write, on_complete) -> None:
+        if (
+            not self._warmed
+            and self.controller.total_requests() >= self._warmup_requests
+        ):
+            self._warmed = True
+            self._warmup_cycle = self.events.now
+            self._warmup_instructions = [
+                core.instructions_retired for core in self.cores
+            ]
+        physical_line = self.page_tables[core_id].translate_line(
+            virtual_line, LINES_PER_PAGE
+        )
+        self.controller.access(core_id, physical_line, is_write, on_complete)
+
+    def _on_pass_complete(self, core_id: int, now: int) -> bool:
+        self._first_pass_done[core_id] = True
+        if all(self._first_pass_done):
+            self._end_cycle = now
+            self._instruction_snapshot = [
+                core.instructions_retired for core in self.cores
+            ]
+            for core in self.cores:
+                core.stop()
+            return False
+        return True  # others still on their first pass: repeat (Sec. 4.2)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run to completion and return the results."""
+        for core in self.cores:
+            core.start()
+        processed = 0
+        while self.events.step():
+            processed += 1
+            if processed > MAX_EVENTS:
+                raise SimulationError("event budget exhausted; likely a hang")
+            if (
+                self._max_cycles is not None
+                and self.events.now > self._max_cycles
+            ):
+                self._force_end()
+                break
+        if self._end_cycle is None:
+            self._force_end()
+        self.controller.finalize()
+        return self._collect()
+
+    def _force_end(self) -> None:
+        if self._end_cycle is None:
+            self._end_cycle = max(self.events.now, 1)
+            self._instruction_snapshot = [
+                core.instructions_retired for core in self.cores
+            ]
+        for core in self.cores:
+            core.stop()
+
+    def _collect(self) -> SimulationResult:
+        assert self._end_cycle is not None
+        assert self._instruction_snapshot is not None
+        cycles = max(self._end_cycle, 1)
+        measured_cycles = max(cycles - self._warmup_cycle, 1)
+        controller = self.controller
+        programs = []
+        for core_id, (name, _trace) in enumerate(self.traces):
+            stats = controller.core_stats[core_id]
+            instructions = self._instruction_snapshot[core_id]
+            measured = instructions - self._warmup_instructions[core_id]
+            programs.append(
+                ProgramResult(
+                    name=name,
+                    core_id=core_id,
+                    instructions=instructions,
+                    ipc=max(measured, 0) / measured_cycles,
+                    requests=stats.requests,
+                    m1_fraction=stats.m1_fraction,
+                    passes_completed=self.cores[core_id].passes_completed,
+                    swaps_involving=stats.swaps_involving,
+                )
+            )
+        energy = controller.energy.total_energy_j(cycles)
+        return SimulationResult(
+            policy=self.policy.name,
+            cycles=cycles,
+            programs=tuple(programs),
+            total_requests=controller.total_requests(),
+            total_swaps=controller.total_swaps,
+            swap_fraction=controller.swap_fraction(),
+            average_read_latency=controller.average_read_latency(),
+            stc_hit_rate=controller.stc_hit_rate(),
+            energy_joules=energy,
+            energy_efficiency=controller.energy.efficiency_requests_per_joule(
+                cycles
+            ),
+            extra={
+                "rsm_history": controller.rsm.history,
+                "policy_object": self.policy,
+            },
+        )

@@ -1,0 +1,77 @@
+"""Figures of merit (Section 4.3).
+
+* Slowdown (Eq. 1): ``IPC_singleprogram / IPC_multiprogram``.
+* Weighted speedup: ``sum over programs of 1 / slowdown``.
+* Unfairness: ``max slowdown`` across the co-running programs.
+* Energy efficiency: requests served per second per watt (reported
+  directly by :class:`~repro.mem.power.EnergyMeter`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.errors import SimulationError
+from repro.sim.results import SimulationResult
+
+
+def slowdown(ipc_single: float, ipc_multi: float) -> float:
+    """Eq. (1): a program's slowdown under contention."""
+    if ipc_single <= 0 or ipc_multi <= 0:
+        raise SimulationError(
+            f"non-positive IPC in slowdown: SP={ipc_single}, MP={ipc_multi}"
+        )
+    return ipc_single / ipc_multi
+
+
+def weighted_speedup(slowdowns: Sequence[float]) -> float:
+    """System performance: sum of reciprocal slowdowns (Eyerman & Eeckhout)."""
+    if not slowdowns:
+        raise SimulationError("weighted speedup of no programs")
+    return sum(1.0 / s for s in slowdowns)
+
+
+def unfairness(slowdowns: Sequence[float]) -> float:
+    """Max slowdown across co-running programs (lower is fairer)."""
+    if not slowdowns:
+        raise SimulationError("unfairness of no programs")
+    return max(slowdowns)
+
+
+@dataclass(frozen=True)
+class WorkloadMetrics:
+    """Figures of merit for one multiprogrammed run under one policy."""
+
+    policy: str
+    program_names: tuple[str, ...]
+    slowdowns: tuple[float, ...]
+    weighted_speedup: float
+    unfairness: float
+    energy_efficiency: float
+    average_read_latency: float
+    swap_fraction: float
+
+    @staticmethod
+    def from_results(
+        multi: SimulationResult, single_ipcs: Sequence[float]
+    ) -> "WorkloadMetrics":
+        """Combine a multiprogram run with per-program stand-alone IPCs."""
+        if len(single_ipcs) != len(multi.programs):
+            raise SimulationError(
+                "one stand-alone IPC per co-running program required"
+            )
+        slowdowns = tuple(
+            slowdown(sp, program.ipc)
+            for sp, program in zip(single_ipcs, multi.programs)
+        )
+        return WorkloadMetrics(
+            policy=multi.policy,
+            program_names=tuple(p.name for p in multi.programs),
+            slowdowns=slowdowns,
+            weighted_speedup=weighted_speedup(slowdowns),
+            unfairness=unfairness(slowdowns),
+            energy_efficiency=multi.energy_efficiency,
+            average_read_latency=multi.average_read_latency,
+            swap_fraction=multi.swap_fraction,
+        )

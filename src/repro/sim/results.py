@@ -1,0 +1,55 @@
+"""Result containers produced by the simulation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProgramResult:
+    """One program's outcome in a simulation."""
+
+    name: str
+    core_id: int
+    instructions: int
+    ipc: float
+    requests: int
+    m1_fraction: float
+    passes_completed: int
+    swaps_involving: int
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one simulation run reports."""
+
+    policy: str
+    cycles: int
+    programs: tuple[ProgramResult, ...]
+    total_requests: int
+    total_swaps: int
+    swap_fraction: float
+    average_read_latency: float
+    stc_hit_rate: float
+    energy_joules: float
+    #: Requests per second per watt (== requests per joule), Figures 12/15.
+    energy_efficiency: float
+    #: Free-form extras (per-experiment diagnostics).
+    extra: dict = field(default_factory=dict)
+
+    def program(self, index: int) -> ProgramResult:
+        """Result of the program on core ``index``."""
+        return self.programs[index]
+
+    @property
+    def ipc_by_core(self) -> tuple[float, ...]:
+        """IPCs in core order."""
+        return tuple(p.ipc for p in self.programs)
+
+    def summary_line(self) -> str:
+        """A one-line human-readable digest."""
+        ipcs = ", ".join(f"{p.name}={p.ipc:.3f}" for p in self.programs)
+        return (
+            f"[{self.policy}] cycles={self.cycles} swaps={self.total_swaps} "
+            f"stc_hit={self.stc_hit_rate:.2%} ipc: {ipcs}"
+        )

@@ -1,0 +1,28 @@
+"""Synthetic trace generation.
+
+The paper drives its simulator with SPEC CPU2006 SimPoint traces; those
+are proprietary, so this package synthesizes main-memory access streams
+whose first-order properties — MPKI, footprint, write fraction, block
+reuse structure, and spatial/temporal locality class — match each
+program's published characterization (Table 9 and Section 4.2).  See
+DESIGN.md for the substitution argument.
+"""
+
+from repro.traces.patterns import (
+    ChaseComponent,
+    HotSetComponent,
+    PatternComponent,
+    StreamComponent,
+)
+from repro.traces.spec import PROGRAM_PROFILES, ProgramProfile
+from repro.traces.generator import synthesize_trace
+
+__all__ = [
+    "ChaseComponent",
+    "HotSetComponent",
+    "PROGRAM_PROFILES",
+    "PatternComponent",
+    "ProgramProfile",
+    "StreamComponent",
+    "synthesize_trace",
+]

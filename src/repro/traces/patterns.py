@@ -1,0 +1,190 @@
+"""Access-pattern primitives for trace synthesis.
+
+Each component owns a contiguous virtual-address range and produces one
+(line, is_write) pair per step.  A program is a weighted mixture of
+components (:mod:`repro.traces.generator` interleaves them), mirroring
+how real programs interleave accesses to differently-behaved data
+structures (Section 4.2 characterizes mcf/omnetpp/libquantum as irregular
+and pointer-based, soplex as mixed, and so on).
+
+All components speak 64-B lines but think in 2-KB blocks (32 lines), the
+migration granularity, because the properties that matter to the policies
+under study are per-block reuse counts and residency patterns.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.errors import TraceError
+
+LINES_PER_BLOCK = 32
+
+
+class PatternComponent(ABC):
+    """One data structure's access behaviour within a virtual range."""
+
+    def __init__(
+        self, start_line: int, num_lines: int, write_fraction: float
+    ) -> None:
+        if num_lines < LINES_PER_BLOCK:
+            raise TraceError("component needs at least one 2-KB block")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise TraceError("write_fraction must be in [0, 1]")
+        self.start_line = start_line
+        self.num_lines = num_lines
+        self.write_fraction = write_fraction
+
+    @property
+    def num_blocks(self) -> int:
+        """2-KB blocks in this component's range."""
+        return self.num_lines // LINES_PER_BLOCK
+
+    def _line(self, block: int, offset: int) -> int:
+        return self.start_line + block * LINES_PER_BLOCK + offset
+
+    def _is_write(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.write_fraction)
+
+    @abstractmethod
+    def next_access(self, rng: np.random.Generator) -> tuple[int, bool]:
+        """Produce the next (virtual line, is_write)."""
+
+
+class StreamComponent(PatternComponent):
+    """Interleaved sequential scans over the range, wrapping indefinitely.
+
+    Scientific kernels (lbm's lattice sweep, bwaves, GemsFDTD) stream
+    through several arrays at once: the component splits its range into
+    ``num_streams`` stripes with one cursor each and rotates among them,
+    so concurrent streams collide in the row buffers like real multi-array
+    stencils do.  Every line receives ``touches_per_line`` consecutive
+    accesses per pass; a block's per-residency access count is large but
+    the block never returns once the scan moves on.
+    """
+
+    def __init__(
+        self,
+        start_line: int,
+        num_lines: int,
+        write_fraction: float,
+        touches_per_line: int = 1,
+        num_streams: int = 1,
+    ) -> None:
+        super().__init__(start_line, num_lines, write_fraction)
+        if touches_per_line < 1:
+            raise TraceError("touches_per_line must be >= 1")
+        if num_streams < 1:
+            raise TraceError("num_streams must be >= 1")
+        self.touches_per_line = touches_per_line
+        self.num_streams = min(num_streams, self.num_blocks)
+        stripe_blocks = self.num_blocks // self.num_streams
+        self._stripe_lines = max(stripe_blocks * LINES_PER_BLOCK, 1)
+        self._positions = [0] * self.num_streams
+        self._touches = [0] * self.num_streams
+        self._turn = 0
+
+    def next_access(self, rng: np.random.Generator) -> tuple[int, bool]:
+        stream = self._turn
+        self._turn = (self._turn + 1) % self.num_streams
+        base = stream * self._stripe_lines
+        line = self.start_line + base + self._positions[stream]
+        self._touches[stream] += 1
+        if self._touches[stream] >= self.touches_per_line:
+            self._touches[stream] = 0
+            self._positions[stream] = (
+                self._positions[stream] + 1
+            ) % self._stripe_lines
+        return line, self._is_write(rng)
+
+
+class HotSetComponent(PatternComponent):
+    """Zipf-distributed block reuse: few hot blocks, long cold tail.
+
+    Episodes model temporal locality: a block drawn from a Zipf
+    distribution receives a burst of ``episode_length`` (geometric mean)
+    sequential-with-jitter accesses, then the next block is drawn.  Hot
+    blocks accumulate large per-residency counts, cold ones small —
+    exactly the structure MDM's QAC attribute is built to distinguish.
+    """
+
+    def __init__(
+        self,
+        start_line: int,
+        num_lines: int,
+        write_fraction: float,
+        zipf_s: float = 0.9,
+        episode_length: int = 8,
+    ) -> None:
+        super().__init__(start_line, num_lines, write_fraction)
+        if episode_length < 1:
+            raise TraceError("episode_length must be >= 1")
+        self.episode_length = episode_length
+        ranks = np.arange(1, self.num_blocks + 1, dtype=np.float64)
+        weights = ranks ** (-zipf_s)
+        self._cdf = np.cumsum(weights / weights.sum())
+        self._block = 0
+        self._remaining = 0
+        self._offset = 0
+
+    def _draw_block(self, rng: np.random.Generator) -> int:
+        return int(np.searchsorted(self._cdf, rng.random()))
+
+    def next_access(self, rng: np.random.Generator) -> tuple[int, bool]:
+        if self._remaining <= 0:
+            self._block = self._draw_block(rng)
+            self._remaining = int(rng.geometric(1.0 / self.episode_length))
+            self._offset = int(rng.integers(0, LINES_PER_BLOCK))
+        self._remaining -= 1
+        line = self._line(self._block, self._offset)
+        self._offset = (self._offset + 1) % LINES_PER_BLOCK
+        return line, self._is_write(rng)
+
+
+class ChaseComponent(PatternComponent):
+    """Pointer chasing: short episodes over a drifting locality window.
+
+    Models mcf/omnetpp-style irregular traversals: the next block is
+    drawn uniformly from a window around the current position (the window
+    drifts), with occasional global jumps; each visit touches only
+    ``episode_length`` lines.  Per-residency counts stay tiny, so
+    promoting such blocks is rarely worthwhile — the behaviour that
+    separates good migration decisions from bad ones (Section 5.1).
+    """
+
+    def __init__(
+        self,
+        start_line: int,
+        num_lines: int,
+        write_fraction: float,
+        window_blocks: int = 64,
+        jump_probability: float = 0.05,
+        episode_length: int = 2,
+    ) -> None:
+        super().__init__(start_line, num_lines, write_fraction)
+        if window_blocks < 1:
+            raise TraceError("window_blocks must be >= 1")
+        self.window_blocks = min(window_blocks, self.num_blocks)
+        self.jump_probability = jump_probability
+        self.episode_length = episode_length
+        self._position = 0
+        self._block = 0
+        self._remaining = 0
+
+    def next_access(self, rng: np.random.Generator) -> tuple[int, bool]:
+        if self._remaining <= 0:
+            if rng.random() < self.jump_probability:
+                self._position = int(rng.integers(0, self.num_blocks))
+            half = self.window_blocks // 2
+            low = max(0, self._position - half)
+            high = min(self.num_blocks, self._position + half + 1)
+            self._block = int(rng.integers(low, high))
+            self._position = self._block
+            self._remaining = max(
+                1, int(rng.geometric(1.0 / self.episode_length))
+            )
+        self._remaining -= 1
+        offset = int(rng.integers(0, LINES_PER_BLOCK))
+        return self._line(self._block, offset), self._is_write(rng)

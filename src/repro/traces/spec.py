@@ -1,0 +1,191 @@
+"""Synthetic profiles of the ten SPEC CPU2006 programs of Table 9.
+
+Each profile records the published MPKI and footprint and a mixture of
+pattern components chosen from the programs' well-known memory
+characterizations (Section 4.2 and the prefetching literature the paper
+cites): mcf, omnetpp and libquantum are irregular/pointer-based (though
+libquantum's actual stream is famously sequential over a tiny footprint),
+soplex mixes regular and irregular accesses, lbm is a write-heavy stencil
+stream, bwaves/GemsFDTD/leslie3d/milc/zeusmp are scientific codes with
+varying stream/reuse blends.
+
+``ComponentSpec`` weights are fractions of the program's accesses;
+fractions of the footprint default to the same weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One mixture component of a program profile."""
+
+    kind: str  # "stream" | "hot" | "chase"
+    weight: float
+    write_fraction: float
+    #: Fraction of the footprint owned (defaults to ``weight``).
+    footprint_share: Optional[float] = None
+    #: Kind-specific tuning knobs (zipf_s, episode_length, window_blocks...).
+    params: dict = field(default_factory=dict)
+
+    @property
+    def share(self) -> float:
+        """Footprint share actually used."""
+        return self.footprint_share if self.footprint_share is not None else self.weight
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """Synthetic stand-in for one Table 9 program."""
+
+    name: str
+    mpki: float
+    footprint_mb: float  # paper scale (Table 9)
+    components: tuple[ComponentSpec, ...]
+
+    def __post_init__(self) -> None:
+        total_weight = sum(c.weight for c in self.components)
+        if abs(total_weight - 1.0) > 1e-9:
+            raise ValueError(
+                f"{self.name}: component weights sum to {total_weight}, not 1"
+            )
+
+
+def _stream(weight, wf, share=None, **params):
+    return ComponentSpec("stream", weight, wf, share, params)
+
+
+def _hot(weight, wf, share=None, **params):
+    return ComponentSpec("hot", weight, wf, share, params)
+
+
+def _chase(weight, wf, share=None, **params):
+    return ComponentSpec("chase", weight, wf, share, params)
+
+
+PROGRAM_PROFILES: dict[str, ProgramProfile] = {
+    profile.name: profile
+    for profile in (
+        ProgramProfile(
+            "bwaves",
+            mpki=11,
+            footprint_mb=265,
+            components=(
+                _stream(0.70, 0.30, num_streams=6),
+                _hot(0.30, 0.20, zipf_s=0.8, episode_length=10),
+            ),
+        ),
+        ProgramProfile(
+            "GemsFDTD",
+            mpki=16,
+            footprint_mb=499,
+            components=(
+                _stream(0.65, 0.35, num_streams=8),
+                _hot(0.35, 0.25, zipf_s=0.7, episode_length=8),
+            ),
+        ),
+        ProgramProfile(
+            "lbm",
+            mpki=32,
+            footprint_mb=402,
+            components=(
+                # Stencil sweep: read-modify-write over the whole lattice.
+                _stream(0.85, 0.45, num_streams=10),
+                _hot(0.15, 0.30, zipf_s=0.6, episode_length=6),
+            ),
+        ),
+        ProgramProfile(
+            "leslie3d",
+            mpki=15,
+            footprint_mb=76,
+            components=(
+                _stream(0.55, 0.35, num_streams=6),
+                _hot(0.45, 0.25, zipf_s=0.9, episode_length=12),
+            ),
+        ),
+        ProgramProfile(
+            "libquantum",
+            mpki=30,
+            footprint_mb=32,
+            components=(
+                # One long vector swept over and over.
+                _stream(1.00, 0.25, num_streams=2),
+            ),
+        ),
+        ProgramProfile(
+            "mcf",
+            mpki=60,
+            footprint_mb=525,
+            components=(
+                # Dominantly pointer chasing with a modest hot core.
+                _chase(
+                    0.75, 0.12, window_blocks=96, jump_probability=0.04,
+                    episode_length=2,
+                ),
+                _hot(0.25, 0.20, share=0.10, zipf_s=1.1, episode_length=12),
+            ),
+        ),
+        ProgramProfile(
+            "milc",
+            mpki=18,
+            footprint_mb=547,
+            components=(
+                _stream(0.60, 0.30, num_streams=4),
+                _chase(
+                    0.40, 0.20, window_blocks=512, jump_probability=0.10,
+                    episode_length=2,
+                ),
+            ),
+        ),
+        ProgramProfile(
+            "omnetpp",
+            mpki=19,
+            footprint_mb=138,
+            components=(
+                # Very irregular event-queue walks: wide windows, frequent
+                # jumps, single-touch visits (STC hit rate ~70%, Fig. 7).
+                _chase(
+                    0.85, 0.30, window_blocks=1024, jump_probability=0.20,
+                    episode_length=1,
+                ),
+                _hot(0.15, 0.30, share=0.10, zipf_s=1.0, episode_length=8),
+            ),
+        ),
+        ProgramProfile(
+            "soplex",
+            mpki=29,
+            footprint_mb=241,
+            components=(
+                # Mixed regular/irregular (sparse LP matrices).
+                _stream(0.45, 0.25, num_streams=4),
+                _chase(
+                    0.30, 0.20, window_blocks=256, jump_probability=0.08,
+                    episode_length=2,
+                ),
+                _hot(0.25, 0.25, zipf_s=0.9, episode_length=10),
+            ),
+        ),
+        ProgramProfile(
+            "zeusmp",
+            mpki=5,
+            footprint_mb=112,
+            components=(
+                _hot(0.55, 0.25, zipf_s=0.9, episode_length=14),
+                _stream(0.45, 0.30, num_streams=4),
+            ),
+        ),
+    )
+}
+
+
+def profile(name: str) -> ProgramProfile:
+    """Look up a Table 9 program profile by name."""
+    try:
+        return PROGRAM_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; choose from {sorted(PROGRAM_PROFILES)}"
+        ) from None

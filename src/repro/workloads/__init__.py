@@ -1,0 +1,7 @@
+"""Workload definitions: the Table 9 program set and Table 10 mixes."""
+
+from repro.workloads.table9 import PROGRAMS
+from repro.workloads.table10 import WORKLOADS, workload
+from repro.workloads.generator import random_mix, random_mixes
+
+__all__ = ["PROGRAMS", "WORKLOADS", "random_mix", "random_mixes", "workload"]

@@ -1,0 +1,64 @@
+"""Random multiprogrammed-workload generation.
+
+Table 10's mixes were hand-composed "diverse multiprogrammed workloads";
+this module generates further mixes with controlled diversity so the
+robustness of a policy comparison can be checked beyond the paper's 19
+(see the ``ext-random-mixes`` experiment).  Mixes are sampled by memory-
+intensity class so each workload mixes heavy and light programs the way
+Table 10 does, and generation is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import make_rng
+from repro.traces.spec import PROGRAM_PROFILES
+
+#: Intensity classes by Table 9 MPKI: heavy (>= 25), medium, light (< 12).
+HEAVY = tuple(
+    sorted(n for n, p in PROGRAM_PROFILES.items() if p.mpki >= 25)
+)
+MEDIUM = tuple(
+    sorted(n for n, p in PROGRAM_PROFILES.items() if 12 <= p.mpki < 25)
+)
+LIGHT = tuple(
+    sorted(n for n, p in PROGRAM_PROFILES.items() if p.mpki < 12)
+)
+
+
+def random_mix(
+    seed: int,
+    index: int = 0,
+    size: int = 4,
+    allow_duplicates: bool = True,
+) -> tuple[str, ...]:
+    """One random mix of ``size`` programs.
+
+    At least one heavy and one non-heavy program are included (so there
+    is always competition for M1 and always asymmetry for RSM to see),
+    mirroring Table 10's composition style.
+    """
+    if size < 2:
+        raise ValueError("a mix needs at least two programs")
+    rng = make_rng(seed, "workload-mix", index, size)
+    chosen = [
+        str(rng.choice(HEAVY)),
+        str(rng.choice(MEDIUM + LIGHT)),
+    ]
+    everyone = tuple(PROGRAM_PROFILES)
+    while len(chosen) < size:
+        candidate = str(rng.choice(everyone))
+        if not allow_duplicates and candidate in chosen:
+            continue
+        chosen.append(candidate)
+    order = rng.permutation(len(chosen))
+    return tuple(chosen[i] for i in order)
+
+
+def random_mixes(
+    seed: int, count: int, size: int = 4
+) -> dict[str, tuple[str, ...]]:
+    """``count`` named random mixes (r01, r02, ...)."""
+    return {
+        f"r{index + 1:02d}": random_mix(seed, index, size)
+        for index in range(count)
+    }

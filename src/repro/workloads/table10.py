@@ -1,0 +1,46 @@
+"""The 19 multiprogrammed workloads of Table 10 (verbatim from the paper).
+
+Duplicate entries (e.g. lbm twice in w03) are distinct program instances:
+each runs on its own core, with its own private region, page frames, and
+an independently seeded trace.
+"""
+
+from __future__ import annotations
+
+WORKLOADS: dict[str, tuple[str, str, str, str]] = {
+    "w01": ("mcf", "libquantum", "leslie3d", "lbm"),
+    "w02": ("soplex", "GemsFDTD", "omnetpp", "zeusmp"),
+    "w03": ("milc", "bwaves", "lbm", "lbm"),
+    "w04": ("libquantum", "bwaves", "leslie3d", "omnetpp"),
+    "w05": ("mcf", "bwaves", "zeusmp", "GemsFDTD"),
+    "w06": ("soplex", "libquantum", "lbm", "omnetpp"),
+    "w07": ("milc", "GemsFDTD", "bwaves", "leslie3d"),
+    "w08": ("soplex", "leslie3d", "lbm", "zeusmp"),
+    "w09": ("mcf", "soplex", "lbm", "GemsFDTD"),
+    "w10": ("libquantum", "leslie3d", "omnetpp", "zeusmp"),
+    "w11": ("soplex", "bwaves", "lbm", "libquantum"),
+    "w12": ("milc", "GemsFDTD", "soplex", "lbm"),
+    "w13": ("mcf", "soplex", "bwaves", "zeusmp"),
+    "w14": ("GemsFDTD", "soplex", "omnetpp", "libquantum"),
+    "w15": ("leslie3d", "omnetpp", "lbm", "zeusmp"),
+    "w16": ("libquantum", "libquantum", "bwaves", "zeusmp"),
+    "w17": ("mcf", "mcf", "omnetpp", "leslie3d"),
+    "w18": ("mcf", "milc", "milc", "GemsFDTD"),
+    "w19": ("milc", "libquantum", "omnetpp", "leslie3d"),
+}
+
+#: Workload names in order.
+WORKLOAD_NAMES: tuple[str, ...] = tuple(sorted(WORKLOADS))
+
+#: The three workloads Figures 2 and 16 detail.
+FAIRNESS_DETAIL_WORKLOADS: tuple[str, ...] = ("w09", "w16", "w19")
+
+
+def workload(name: str) -> tuple[str, str, str, str]:
+    """Look up a Table 10 workload by name (e.g. ``"w09"``)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        ) from None

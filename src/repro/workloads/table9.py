@@ -1,0 +1,27 @@
+"""The individual-program set of Table 9 (SPEC CPU2006 selections)."""
+
+from __future__ import annotations
+
+from repro.traces.spec import PROGRAM_PROFILES
+
+#: Table 9 program names in the paper's order.
+PROGRAMS: tuple[str, ...] = (
+    "bwaves",
+    "GemsFDTD",
+    "lbm",
+    "leslie3d",
+    "libquantum",
+    "mcf",
+    "milc",
+    "omnetpp",
+    "soplex",
+    "zeusmp",
+)
+
+#: Programs used in Figure 5 (libquantum is omitted there: its 32-MB
+#: footprint fits entirely in M1, Section 5.1).
+FIG5_PROGRAMS: tuple[str, ...] = tuple(
+    name for name in PROGRAMS if name != "libquantum"
+)
+
+assert set(PROGRAMS) == set(PROGRAM_PROFILES), "profiles must cover Table 9"

@@ -1,0 +1,123 @@
+"""Address-map arithmetic tests (Section 2.3 / Figure 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import paper_quad_core
+from repro.hybrid.address import AddressMap
+from repro.mem.request import Module
+
+
+@pytest.fixture(scope="module")
+def amap():
+    return AddressMap(paper_quad_core(scale=64))
+
+
+class TestBlockGroupSlot:
+    def test_roundtrip(self, amap):
+        for block in (0, 1, amap.total_blocks - 1, 12345):
+            group = amap.group_of_block(block)
+            slot = amap.slot_of_block(block)
+            assert amap.block_of(group, slot) == block
+
+    def test_slot_zero_is_first_segment(self, amap):
+        assert amap.slot_of_block(0) == 0
+        assert amap.slot_of_block(amap.total_groups) == 1
+
+    def test_nine_slots(self, amap):
+        last_block = amap.total_blocks - 1
+        assert amap.slot_of_block(last_block) == amap.group_size - 1
+
+    @given(st.integers(min_value=0))
+    def test_roundtrip_property(self, amap, block):
+        block %= amap.total_blocks
+        group = amap.group_of_block(block)
+        slot = amap.slot_of_block(block)
+        assert 0 <= group < amap.total_groups
+        assert 0 <= slot < amap.group_size
+        assert amap.block_of(group, slot) == block
+
+
+class TestRegions:
+    def test_figure3_pattern(self, amap):
+        # Groups (0, 1) -> region 0; (2, 3) -> region 1; wrap after 128.
+        assert amap.region_of_group(0) == 0
+        assert amap.region_of_group(1) == 0
+        assert amap.region_of_group(2) == 1
+        assert amap.region_of_group(3) == 1
+        assert amap.region_of_group(256) == 0
+
+    def test_page_maps_to_consecutive_groups(self, amap):
+        # The two blocks of any page land in consecutive swap groups.
+        for page in (0, 7, 100):
+            b0, b1 = amap.blocks_of_page(page)
+            g0, g1 = amap.group_of_block(b0), amap.group_of_block(b1)
+            assert g1 == g0 + 1
+
+    def test_page_blocks_share_region(self, amap):
+        for page in range(0, 512, 7):
+            b0, b1 = amap.blocks_of_page(page)
+            r0 = amap.region_of_group(amap.group_of_block(b0))
+            r1 = amap.region_of_group(amap.group_of_block(b1))
+            assert r0 == r1 == amap.region_of_page(page)
+
+    def test_page_blocks_share_segment(self, amap):
+        for page in range(0, amap.total_pages, 997):
+            b0, b1 = amap.blocks_of_page(page)
+            assert amap.slot_of_block(b0) == amap.slot_of_block(b1)
+            assert amap.segment_of_page(page) == amap.slot_of_block(b0)
+
+    def test_all_regions_reachable(self, amap):
+        regions = {
+            amap.region_of_group(g) for g in range(2 * amap.num_regions)
+        }
+        assert regions == set(range(amap.num_regions))
+
+
+class TestDeviceAddresses:
+    def test_location_zero_is_m1(self, amap):
+        loc = amap.data_location(0, 0)
+        assert loc.address.module is Module.M1
+
+    def test_other_locations_are_m2(self, amap):
+        for location in range(1, amap.group_size):
+            assert amap.data_location(5, location).address.module is Module.M2
+
+    def test_channel_interleave(self, amap):
+        assert amap.data_location(0, 0).channel == 0
+        assert amap.data_location(1, 0).channel == 1
+        assert amap.data_location(2, 0).channel == 0
+
+    def test_blocks_share_rows_in_fours(self, amap):
+        # blocks_per_row = 4: consecutive channel-local M1 blocks share rows.
+        rows = {
+            amap.data_location(g, 0).address.row
+            for g in range(0, 8, 2)  # channel 0: local indices 0..3
+        }
+        assert len(rows) == 1
+
+    def test_distinct_m2_blocks_distinct_addresses(self, amap):
+        seen = set()
+        for group in range(0, 64, 2):
+            for location in range(1, amap.group_size):
+                address = amap.data_location(group, location).address
+                key = (address.bank, address.row)
+                seen.add(key)
+        # 32 groups x 8 locations / 4 blocks-per-row = 64 distinct rows.
+        assert len(seen) == 64
+
+    def test_st_rows_are_negative(self, amap):
+        for group in (0, 100, amap.total_groups - 1):
+            loc = amap.st_location(group)
+            assert loc.address.module is Module.M1
+            assert loc.address.row < 0
+
+    def test_st_same_channel_as_group(self, amap):
+        for group in (0, 1, 2, 3):
+            assert amap.st_location(group).channel == amap.channel_of_group(group)
+
+    def test_bank_in_range(self, amap):
+        for group in range(0, amap.total_groups, 317):
+            for location in range(amap.group_size):
+                address = amap.data_location(group, location).address
+                assert 0 <= address.bank < amap.banks

@@ -1,0 +1,57 @@
+"""Report-rendering tests."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_table,
+    normalized_series_summary,
+    render_boxplot_summary,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], ["xx", 3.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in table
+        assert "xx" in table
+
+    def test_headers_present(self):
+        table = format_table(["name", "value"], [])
+        assert table.splitlines()[0].startswith("name")
+
+    def test_custom_float_format(self):
+        table = format_table(["x"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in table
+
+
+class TestBoxplotSummary:
+    def test_contains_stats(self):
+        line = render_boxplot_summary([1.0, 2.0, 3.0], label="test")
+        assert line.startswith("test:")
+        assert "med=2.000" in line
+        assert "gmean=" in line
+
+    def test_outliers_rendered(self):
+        line = render_boxplot_summary([1.0] * 10 + [50.0])
+        assert "outliers=" in line
+
+
+class TestSeriesSummary:
+    def test_higher_is_better(self):
+        summary = normalized_series_summary({"a": 1.1, "b": 1.3})
+        assert summary["best_key"] == "b"
+        assert summary["best_improvement"] == pytest.approx(0.3)
+        assert summary["average_improvement"] > 0
+
+    def test_lower_is_better(self):
+        summary = normalized_series_summary(
+            {"a": 0.9, "b": 0.7}, higher_is_better=False
+        )
+        assert summary["best_key"] == "b"
+        assert summary["best_improvement"] == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_series_summary({})

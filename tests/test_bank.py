@@ -1,0 +1,44 @@
+"""Bank state tests."""
+
+from repro.mem.bank import Bank
+
+
+class TestBank:
+    def test_initially_closed(self):
+        bank = Bank()
+        assert bank.open_row is None
+        assert not bank.is_row_hit(0)
+        assert not bank.dirty
+
+    def test_open_then_hit(self):
+        bank = Bank()
+        bank.open(42, ready_at=100)
+        assert bank.is_row_hit(42)
+        assert not bank.is_row_hit(43)
+        assert bank.ready_at == 100
+
+    def test_open_dirty(self):
+        bank = Bank()
+        bank.open(1, 10, dirty=True)
+        assert bank.dirty
+
+    def test_mark_dirty(self):
+        bank = Bank()
+        bank.open(1, 10)
+        bank.mark_dirty()
+        assert bank.dirty
+
+    def test_close_clears_row_and_dirty(self):
+        bank = Bank()
+        bank.open(1, 10, dirty=True)
+        bank.close()
+        assert bank.open_row is None
+        assert not bank.dirty
+
+    def test_reserve_extends_only_forward(self):
+        bank = Bank()
+        bank.open(1, 100)
+        bank.reserve(50)
+        assert bank.ready_at == 100
+        bank.reserve(150)
+        assert bank.ready_at == 150

@@ -1,0 +1,198 @@
+"""Set-associative array tests, including a hypothesis model check."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.sets import SetAssociativeCache
+from repro.common.errors import ConfigError
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache[int](4, 2)
+        assert cache.lookup(5) is None
+        cache.insert(5, 50)
+        assert cache.lookup(5) == 50
+
+    def test_hit_miss_counters(self):
+        cache = SetAssociativeCache[int](4, 2)
+        cache.lookup(1)
+        cache.insert(1, 1)
+        cache.lookup(1)
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert cache.hit_rate == 0.5
+
+    def test_peek_does_not_touch(self):
+        cache = SetAssociativeCache[int](1, 2)
+        cache.insert(0, 0)
+        cache.insert(4, 4)  # LRU order: 0, 4
+        cache.peek(0)
+        victim = cache.insert(8, 8)
+        assert victim.key == 0  # peek did not refresh 0
+
+    def test_lookup_refreshes_lru(self):
+        cache = SetAssociativeCache[int](1, 2)
+        cache.insert(0, 0)
+        cache.insert(4, 4)
+        cache.lookup(0)
+        victim = cache.insert(8, 8)
+        assert victim.key == 4
+
+    def test_eviction_is_lru(self):
+        cache = SetAssociativeCache[int](1, 2)
+        cache.insert(1, 1)
+        cache.insert(2, 2)
+        victim = cache.insert(3, 3)
+        assert victim.key == 1
+
+    def test_set_isolation(self):
+        cache = SetAssociativeCache[int](2, 1)
+        cache.insert(0, 0)  # set 0
+        cache.insert(1, 1)  # set 1
+        assert cache.lookup(0) == 0
+        assert cache.lookup(1) == 1
+
+    def test_reinsert_updates_in_place(self):
+        cache = SetAssociativeCache[int](1, 1)
+        cache.insert(1, 10)
+        assert cache.insert(1, 20) is None
+        assert cache.peek(1) == 20
+
+    def test_dirty_propagation(self):
+        cache = SetAssociativeCache[int](1, 1)
+        cache.insert(1, 1)
+        cache.mark_dirty(1)
+        victim = cache.insert(2, 2)
+        assert victim.dirty
+
+    def test_insert_dirty(self):
+        cache = SetAssociativeCache[int](1, 1)
+        cache.insert(1, 1, dirty=True)
+        assert cache.insert(2, 2).dirty
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache[int](1, 2)
+        cache.insert(1, 11)
+        assert cache.invalidate(1) == 11
+        assert cache.lookup(1) is None
+
+    def test_contains_stat_free(self):
+        cache = SetAssociativeCache[int](1, 2)
+        cache.insert(1, 1)
+        assert cache.contains(1)
+        assert not cache.contains(2)
+        assert cache.misses == 0
+
+    def test_len_and_items(self):
+        cache = SetAssociativeCache[int](2, 2)
+        cache.insert(0, 0)
+        cache.insert(1, 1)
+        assert len(cache) == 2
+        assert dict(cache.items()) == {0: 0, 1: 1}
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(3, 2)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(4, 0)
+
+
+class TestModelEquivalence:
+    """Compare against a brute-force LRU reference across random ops."""
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["lookup", "insert"]), st.integers(0, 31)),
+            max_size=200,
+        )
+    )
+    def test_against_reference(self, ops):
+        num_sets, assoc = 4, 2
+        cache = SetAssociativeCache[int](num_sets, assoc)
+        reference: dict[int, list[int]] = {s: [] for s in range(num_sets)}
+
+        for op, key in ops:
+            bucket = reference[key % num_sets]
+            if op == "lookup":
+                expected = key if key in bucket else None
+                actual = cache.lookup(key)
+                actual_key = None if actual is None else key
+                assert actual_key == expected
+                if key in bucket:
+                    bucket.remove(key)
+                    bucket.append(key)
+            else:
+                cache.insert(key, key)
+                if key in bucket:
+                    bucket.remove(key)
+                elif len(bucket) >= assoc:
+                    bucket.pop(0)
+                bucket.append(key)
+
+        resident = {key for key, _value in cache.items()}
+        expected_resident = {k for b in reference.values() for k in b}
+        assert resident == expected_resident
+
+
+class TestReplacementPolicies:
+    def test_fifo_ignores_hits(self):
+        cache = SetAssociativeCache[int](1, 2, replacement="fifo")
+        cache.insert(0, 0)
+        cache.insert(4, 4)
+        cache.lookup(0)  # would refresh under LRU
+        victim = cache.insert(8, 8)
+        assert victim.key == 0  # FIFO: insertion order rules
+
+    def test_lru_respects_hits(self):
+        cache = SetAssociativeCache[int](1, 2, replacement="lru")
+        cache.insert(0, 0)
+        cache.insert(4, 4)
+        cache.lookup(0)
+        victim = cache.insert(8, 8)
+        assert victim.key == 4
+
+    def test_random_is_deterministic_in_seed(self):
+        def victims(seed):
+            cache = SetAssociativeCache[int](1, 2, replacement="random", seed=seed)
+            out = []
+            for key in range(0, 40, 4):
+                victim = cache.insert(key, key)
+                if victim:
+                    out.append(victim.key)
+            return out
+
+        assert victims(1) == victims(1)
+
+    def test_random_varies_with_seed(self):
+        def victims(seed):
+            cache = SetAssociativeCache[int](1, 4, replacement="random", seed=seed)
+            out = []
+            for key in range(0, 200, 4):
+                victim = cache.insert(key, key)
+                if victim:
+                    out.append(victim.key)
+            return out
+
+        assert any(victims(1)[i] != victims(2)[i] for i in range(10))
+
+    def test_random_evicts_resident_key(self):
+        cache = SetAssociativeCache[int](1, 3, replacement="random")
+        resident = set()
+        for key in range(0, 60, 4):
+            victim = cache.insert(key, key)
+            resident.add(key)
+            if victim:
+                assert victim.key in resident
+                resident.discard(victim.key)
+
+    def test_unknown_policy_rejected(self):
+        import pytest as _pytest
+        from repro.common.errors import ConfigError as _ConfigError
+
+        with _pytest.raises(_ConfigError):
+            SetAssociativeCache(1, 2, replacement="plru")

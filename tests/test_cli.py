@@ -1,0 +1,105 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig5"])
+        assert args.experiment == "fig5"
+        assert args.scale == 64
+        assert args.seed == 0
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "fig13", "--scale", "128", "--requests", "1000"]
+        )
+        assert args.scale == 128
+        assert args.requests == 1000
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "table4" in out
+
+    def test_unknown_experiment_exits_two(self, capsys):
+        code = main(
+            ["run", "fig99", "--scale", "128", "--requests", "500",
+             "--single-requests", "500"]
+        )
+        assert code == 2
+
+    def test_run_writes_report(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "table1",
+                "--scale",
+                "128",
+                "--requests",
+                "500",
+                "--single-requests",
+                "500",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        report = (tmp_path / "table1.txt").read_text()
+        assert "Table 1" in report
+
+
+class TestReportCommand:
+    def test_parse_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.command == "report"
+        assert str(args.output) == "EXPERIMENTS.md"
+        assert args.store is None
+
+    def test_parse_overrides(self):
+        args = build_parser().parse_args(
+            ["report", "--scale", "128", "--store", "out", "--output", "E.md"]
+        )
+        assert args.scale == 128
+        assert str(args.store) == "out"
+        assert str(args.output) == "E.md"
+
+
+class TestTraceCommands:
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        code = main(
+            ["trace", "zeusmp", str(out), "--requests", "500", "--scale", "128"]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "500 requests" in capsys.readouterr().out
+
+    def test_characterize_program(self, capsys):
+        code = main(
+            ["characterize", "zeusmp", "--requests", "500", "--scale", "128"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MPKI" in out
+        assert "footprint" in out
+
+    def test_characterize_file(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        main(["trace", "lbm", str(out), "--requests", "400", "--scale", "128"])
+        capsys.readouterr()
+        assert main(["characterize", str(out)]) == 0
+        assert "write fraction" in capsys.readouterr().out

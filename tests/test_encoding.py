@@ -1,0 +1,110 @@
+"""ST-entry bit-packing tests (Figure 4 layout)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hybrid.encoding import (
+    ENTRY_BYTES,
+    EncodingError,
+    decode_st_entry,
+    encode_st_entry,
+    entry_from_bytes,
+    entry_to_bytes,
+    storage_overhead_bits,
+)
+from repro.hybrid.st_entry import STEntry
+
+
+def entry_with(swaps=(), qac=None, owner=None):
+    entry = STEntry(9)
+    for a, b in swaps:
+        entry.swap(a, b)
+    if qac:
+        entry.qac = list(qac)
+    entry.m1_owner = owner
+    return entry
+
+
+class TestLayout:
+    def test_paper_storage_accounting(self):
+        bits = storage_overhead_bits()
+        # Section 4.1: 36 ATB + 18 QAC + 2 PID = 7 bytes, 1 reserved.
+        assert bits["atb_bits"] == 36
+        assert bits["qac_bits"] == 18
+        assert bits["pid_bits"] == 2
+        assert bits["used_bits"] == 56
+        assert bits["reserved_bits"] == 8
+
+    def test_identity_entry_encodes_deterministically(self):
+        a = encode_st_entry(entry_with())
+        b = encode_st_entry(entry_with())
+        assert a == b
+
+    def test_eight_bytes(self):
+        assert len(entry_to_bytes(entry_with())) == ENTRY_BYTES
+
+
+class TestRoundtrip:
+    def test_swapped_entry(self):
+        entry = entry_with(swaps=[(0, 5), (3, 7)], owner=2)
+        decoded = decode_st_entry(encode_st_entry(entry))
+        assert decoded.loc_of_slot == entry.loc_of_slot
+        assert decoded.slot_of_loc == entry.slot_of_loc
+        assert decoded.m1_owner == 2
+
+    def test_qac_preserved(self):
+        entry = entry_with(qac=[0, 1, 2, 3, 0, 1, 2, 3, 0])
+        assert decode_st_entry(encode_st_entry(entry)).qac == entry.qac
+
+    def test_bytes_roundtrip(self):
+        entry = entry_with(swaps=[(1, 8)], qac=[3] * 9, owner=1)
+        decoded = entry_from_bytes(entry_to_bytes(entry))
+        assert decoded.loc_of_slot == entry.loc_of_slot
+        assert decoded.qac == entry.qac
+
+    def test_none_owner_uses_substitute(self):
+        entry = entry_with(owner=None)
+        decoded = decode_st_entry(encode_st_entry(entry, owner_bits=3))
+        assert decoded.m1_owner == 3
+
+    @given(
+        swaps=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20
+        ),
+        qac=st.lists(st.integers(0, 3), min_size=9, max_size=9),
+        owner=st.integers(0, 3),
+    )
+    def test_roundtrip_property(self, swaps, qac, owner):
+        entry = STEntry(9)
+        for a, b in swaps:
+            if a != b:
+                entry.swap(a, b)
+        entry.qac = list(qac)
+        entry.m1_owner = owner
+        decoded = decode_st_entry(encode_st_entry(entry))
+        assert decoded.loc_of_slot == entry.loc_of_slot
+        assert decoded.qac == entry.qac
+        assert decoded.m1_owner == owner
+
+
+class TestValidation:
+    def test_wrong_group_size(self):
+        with pytest.raises(EncodingError):
+            encode_st_entry(STEntry(5))
+
+    def test_qac_overflow(self):
+        with pytest.raises(EncodingError):
+            encode_st_entry(entry_with(qac=[4] + [0] * 8))
+
+    def test_owner_overflow(self):
+        with pytest.raises(EncodingError):
+            encode_st_entry(entry_with(owner=4))
+
+    def test_corrupt_word_detected(self):
+        # All-zero ATB: every slot claims location 0.
+        with pytest.raises(EncodingError):
+            decode_st_entry(0)
+
+    def test_wrong_byte_count(self):
+        with pytest.raises(EncodingError):
+            entry_from_bytes(b"\x00" * 4)

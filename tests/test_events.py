@@ -1,0 +1,82 @@
+"""Event-queue tests: ordering, determinism, error paths."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.events import EventQueue
+
+
+class TestOrdering:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda c: log.append(("b", c)))
+        q.schedule(5, lambda c: log.append(("a", c)))
+        q.run()
+        assert log == [("a", 5), ("b", 10)]
+
+    def test_same_cycle_insertion_order(self):
+        q = EventQueue()
+        log = []
+        for tag in "abc":
+            q.schedule(3, lambda c, t=tag: log.append(t))
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(7, lambda c: seen.append(q.now))
+        q.run()
+        assert seen == [7]
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        log = []
+        q.schedule(4, lambda c: q.schedule_after(3, lambda c2: log.append(c2)))
+        q.run()
+        assert log == [7]
+
+    def test_events_can_schedule_same_cycle(self):
+        q = EventQueue()
+        log = []
+
+        def first(c):
+            q.schedule(c, lambda c2: log.append("second"))
+            log.append("first")
+
+        q.schedule(1, first)
+        q.run()
+        assert log == ["first", "second"]
+
+
+class TestErrors:
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue()
+        q.schedule(10, lambda c: None)
+        q.step()
+        with pytest.raises(SimulationError):
+            q.schedule(5, lambda c: None)
+
+    def test_step_on_empty_returns_false(self):
+        assert EventQueue().step() is False
+
+
+class TestRun:
+    def test_run_returns_count(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(i, lambda c: None)
+        assert q.run() == 5
+
+    def test_run_bounded(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(i, lambda c: None)
+        assert q.run(max_events=2) == 2
+        assert len(q) == 3
+
+    def test_len(self):
+        q = EventQueue()
+        q.schedule(1, lambda c: None)
+        assert len(q) == 1

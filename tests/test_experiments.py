@@ -1,0 +1,112 @@
+"""Experiment runner/registry tests (small scale to stay fast)."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    # Tiny but complete runs: enough requests to exercise every path.
+    return ExperimentRunner(
+        scale=128, multi_requests=2500, single_requests=2500, seed=0
+    )
+
+
+class TestRunnerCaching:
+    def test_single_run_cached(self, runner):
+        first = runner.run_single("zeusmp", "static")
+        second = runner.run_single("zeusmp", "static")
+        assert first is second
+
+    def test_different_policy_not_cached(self, runner):
+        a = runner.run_single("zeusmp", "static")
+        b = runner.run_single("zeusmp", "pom")
+        assert a is not b
+
+    def test_workload_traces_seed_instances(self, runner):
+        traces = runner.workload_traces(["lbm", "lbm"])
+        assert (traces[0][1].lines != traces[1][1].lines).any()
+
+    def test_configs_scaled(self, runner):
+        assert runner.quad_config().scale == 128
+        assert runner.single_config().num_cores == 1
+
+
+class TestWorkloadMetrics:
+    def test_w16_metrics_complete(self, runner):
+        metrics = runner.workload_metrics("w16", "pom")
+        assert len(metrics.slowdowns) == 4
+        assert metrics.unfairness == max(metrics.slowdowns)
+        assert metrics.weighted_speedup > 0
+        assert all(s >= 1.0 or s > 0 for s in metrics.slowdowns)
+
+    def test_slowdowns_indicate_contention(self, runner):
+        metrics = runner.workload_metrics("w16", "pom")
+        # Four co-runners on a shared memory: everyone slows down.
+        assert min(metrics.slowdowns) > 1.0
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for artifact in (
+            "table1",
+            "fig2",
+            "table4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "sens-twr",
+            "sens-ratio",
+            "mempod-vs-pom",
+        ):
+            assert artifact in EXPERIMENTS
+
+    def test_unknown_experiment(self, runner):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", runner)
+
+    def test_table1_runs(self, runner):
+        result = run_experiment("table1", runner)
+        assert isinstance(result, ExperimentResult)
+        assert all(
+            value is True
+            for key, value in result.summary.items()
+            if isinstance(value, bool)
+        )
+
+    def test_render_contains_title(self, runner):
+        result = run_experiment("table1", runner)
+        assert "table1" in result.render()
+
+
+class TestSmallDrivers:
+    """End-to-end driver runs at tiny scale (shape, not magnitude)."""
+
+    def test_fig7_runs(self, runner):
+        result = run_experiment("fig7", runner)
+        assert len(result.rows) == 9
+        for _program, rate in result.rows:
+            assert 0 <= rate <= 100
+
+    def test_fig5_runs(self, runner):
+        result = run_experiment("fig5", runner)
+        assert len(result.rows) == 9
+        assert "geomean" in result.summary
+
+    def test_fig2_runs(self, runner):
+        result = run_experiment("fig2", runner)
+        assert len(result.rows) == 12  # 3 workloads x 4 programs
+        for _w, _p, sdn in result.rows:
+            assert sdn > 0

@@ -1,0 +1,107 @@
+"""Extension-experiment driver tests with a stubbed runner."""
+
+from repro.experiments.extensions import (
+    run_policy_matrix,
+    run_random_mixes,
+    run_rsm_pom,
+)
+from repro.sim.metrics import WorkloadMetrics
+from repro.sim.results import ProgramResult, SimulationResult
+
+
+def _metrics(policy, unfairness, speedup):
+    return WorkloadMetrics(
+        policy=policy,
+        program_names=("a", "b", "c", "d"),
+        slowdowns=(unfairness, 2.0, 2.0, 2.0),
+        weighted_speedup=speedup,
+        unfairness=unfairness,
+        energy_efficiency=1e6,
+        average_read_latency=100.0,
+        swap_fraction=0.02,
+    )
+
+
+#: Canned relative quality: guidance alone helps fairness, MDM helps
+#: performance, ProFess both.
+QUALITY = {
+    "static": (5.0, 0.8),
+    "cameo": (4.5, 0.9),
+    "silcfm": (4.4, 0.95),
+    "mempod": (4.6, 0.85),
+    "pom": (4.0, 1.0),
+    "rsm-pom": (3.5, 1.02),
+    "mdm": (3.8, 1.1),
+    "profess": (3.3, 1.12),
+}
+
+
+class StubRunner:
+    scale = 128
+    seed = 0
+
+    def workload_metrics(self, name, policy, config=None):
+        unfairness, speedup = QUALITY[policy]
+        return _metrics(policy, unfairness, speedup)
+
+    def mix_metrics(self, programs, policy, config=None):
+        return self.workload_metrics("mix", policy)
+
+    def run_workload(self, name, policy, config=None):
+        return SimulationResult(
+            policy=policy,
+            cycles=1000,
+            programs=tuple(
+                ProgramResult(p, i, 100, 0.5, 10, 0.5, 1, 0)
+                for i, p in enumerate("abcd")
+            ),
+            total_requests=40,
+            total_swaps=3,
+            swap_fraction=0.03,
+            average_read_latency=100.0,
+            stc_hit_rate=0.9,
+            energy_joules=1.0,
+            energy_efficiency=1e6,
+        )
+
+
+class TestRSMPoMDecomposition:
+    def test_rows_cover_policies_and_workloads(self):
+        result = run_rsm_pom(StubRunner())
+        policies = {row[1] for row in result.rows}
+        assert policies == {"rsm-pom", "mdm", "profess"}
+        assert len(result.rows) == 9  # 3 workloads x 3 policies
+
+    def test_summary_shows_decomposition(self):
+        result = run_rsm_pom(StubRunner())
+        summary = result.summary
+        # Guidance improves fairness more than MDM alone; ProFess most.
+        assert (
+            summary["profess geomean unfairness vs PoM"]
+            < summary["rsm-pom geomean unfairness vs PoM"]
+            < 1.0
+        )
+        assert summary["mdm geomean weighted speedup vs PoM"] > 1.0
+
+
+class TestPolicyMatrix:
+    def test_all_policies_present(self):
+        result = run_policy_matrix(StubRunner())
+        assert [row[0] for row in result.rows] == [
+            "static",
+            "cameo",
+            "silcfm",
+            "mempod",
+            "pom",
+            "rsm-pom",
+            "mdm",
+            "profess",
+        ]
+
+
+class TestRandomMixes:
+    def test_counts_and_summary(self):
+        result = run_random_mixes(StubRunner(), count=4)
+        assert len(result.rows) == 4
+        assert result.summary["geomean unfairness ratio"] < 1.0
+        assert result.summary["geomean weighted-speedup ratio"] > 1.0

@@ -1,0 +1,97 @@
+"""Trace synthesis tests: MPKI, footprint scaling, determinism."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.units import MB
+from repro.traces.generator import (
+    LINES_PER_PAGE,
+    cached_trace,
+    footprint_pages,
+    synthesize_trace,
+)
+from repro.traces.spec import PROGRAM_PROFILES, profile
+
+
+class TestFootprintScaling:
+    def test_paper_scale(self):
+        pages = footprint_pages(profile("libquantum"), scale=1)
+        assert pages == 32 * MB // 4096
+
+    def test_scaling_divides(self):
+        full = footprint_pages(profile("mcf"), scale=1)
+        scaled = footprint_pages(profile("mcf"), scale=64)
+        assert scaled == pytest.approx(full / 64, rel=0.01)
+
+    def test_minimum_floor(self):
+        assert footprint_pages(profile("libquantum"), scale=1 << 20) >= 4
+
+
+class TestSynthesis:
+    def test_mpki_approximates_profile(self):
+        trace = synthesize_trace("mcf", 20_000, scale=64, seed=1)
+        assert trace.mpki == pytest.approx(60, rel=0.15)
+
+    def test_low_mpki_program(self):
+        trace = synthesize_trace("zeusmp", 20_000, scale=64, seed=1)
+        assert trace.mpki == pytest.approx(5, rel=0.15)
+
+    def test_footprint_within_bounds(self):
+        trace = synthesize_trace("omnetpp", 30_000, scale=64, seed=1)
+        limit = footprint_pages(profile("omnetpp"), 64) * LINES_PER_PAGE
+        assert trace.max_line() < limit
+
+    def test_write_fraction_reasonable(self):
+        trace = synthesize_trace("lbm", 30_000, scale=64, seed=1)
+        assert 0.25 < trace.write_fraction < 0.55
+
+    def test_deterministic(self):
+        a = synthesize_trace("milc", 5_000, scale=64, seed=7)
+        b = synthesize_trace("milc", 5_000, scale=64, seed=7)
+        assert (a.lines == b.lines).all()
+        assert (a.gaps == b.gaps).all()
+
+    def test_seeds_differ(self):
+        a = synthesize_trace("milc", 5_000, scale=64, seed=7)
+        b = synthesize_trace("milc", 5_000, scale=64, seed=8)
+        assert (a.lines != b.lines).any()
+
+    def test_cached_identity(self):
+        a = cached_trace("milc", 5_000, 64, 7)
+        b = cached_trace("milc", 5_000, 64, 7)
+        assert a is b
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(TraceError):
+            synthesize_trace("milc", 0, scale=64)
+
+    def test_unknown_program(self):
+        with pytest.raises(KeyError):
+            synthesize_trace("gcc", 100, scale=64)
+
+    def test_custom_profile_accepted(self):
+        trace = synthesize_trace(profile("lbm"), 1_000, scale=64)
+        assert len(trace) == 1_000
+
+
+class TestProfiles:
+    def test_all_table9_present(self):
+        assert len(PROGRAM_PROFILES) == 10
+
+    @pytest.mark.parametrize("name", sorted(PROGRAM_PROFILES))
+    def test_weights_sum_to_one(self, name):
+        assert sum(c.weight for c in profile(name).components) == pytest.approx(1.0)
+
+    def test_table9_mpki_values(self):
+        assert profile("mcf").mpki == 60
+        assert profile("zeusmp").mpki == 5
+        assert profile("lbm").footprint_mb == 402
+
+    def test_irregular_programs_have_chase(self):
+        for name in ("mcf", "omnetpp"):
+            kinds = {c.kind for c in profile(name).components}
+            assert "chase" in kinds
+
+    def test_libquantum_is_pure_stream(self):
+        kinds = [c.kind for c in profile("libquantum").components]
+        assert kinds == ["stream"]

@@ -1,0 +1,73 @@
+"""Cache-hierarchy substrate tests."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.config import CacheLevelConfig
+
+
+def small_hierarchy():
+    return CacheHierarchy(
+        [
+            CacheLevelConfig(2 * 64, 2, 2),  # 2 lines/way, 1 set... tiny L1
+            CacheLevelConfig(8 * 64, 2, 8),
+            CacheLevelConfig(32 * 64, 4, 20),
+        ]
+    )
+
+
+class TestAccess:
+    def test_first_access_goes_to_memory(self):
+        h = small_hierarchy()
+        result = h.access(0)
+        assert result.is_memory_access
+        assert result.latency == 2 + 8 + 20
+
+    def test_second_access_hits_l1(self):
+        h = small_hierarchy()
+        h.access(0)
+        result = h.access(0)
+        assert result.hit_level == 0
+        assert result.latency == 2
+
+    def test_l1_victim_hits_lower_level(self):
+        h = small_hierarchy()
+        h.access(0)
+        # Evict line 0 from tiny L1 by filling its set.
+        for line in range(1, 4):
+            h.access(line)
+        result = h.access(0)
+        assert result.hit_level in (1, 2)
+
+    def test_dirty_writeback_reaches_memory(self):
+        h = CacheHierarchy([CacheLevelConfig(2 * 64, 2, 2)])
+        h.access(0, is_write=True)
+        writebacks = []
+        for line in range(1, 8):
+            writebacks.extend(h.access(line).writebacks)
+        assert 0 in writebacks
+
+    def test_clean_eviction_no_writeback(self):
+        h = CacheHierarchy([CacheLevelConfig(2 * 64, 2, 2)])
+        h.access(0)
+        for line in range(1, 8):
+            assert not h.access(line).writebacks
+
+    def test_mpki(self):
+        h = small_hierarchy()
+        h.access(0)
+        h.access(0)
+        assert h.mpki(1000) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_num_levels(self):
+        assert small_hierarchy().num_levels == 3
+
+    def test_inclusion_after_fill(self):
+        h = small_hierarchy()
+        h.access(7)
+        for level in range(3):
+            assert h.level_stats(level).contains(7)

@@ -1,0 +1,113 @@
+"""End-to-end invariants across full (small) simulations."""
+
+import pytest
+
+from repro.common.config import paper_quad_core, paper_single_core
+from repro.sim.engine import SimulationDriver
+from repro.traces.generator import synthesize_trace
+
+SCALE = 128
+QUAD = paper_quad_core(scale=SCALE)
+SINGLE = paper_single_core(scale=SCALE)
+
+
+def run(policy, programs, config=QUAD, requests=2500):
+    traces = [
+        (name, synthesize_trace(name, requests, scale=SCALE, seed=index))
+        for index, name in enumerate(programs)
+    ]
+    driver = SimulationDriver(config, policy, traces, seed=3)
+    return driver, driver.run()
+
+
+class TestTranslationIntegrity:
+    @pytest.mark.parametrize("policy", ["cameo", "pom", "mdm", "profess"])
+    def test_st_entries_stay_permutations(self, policy):
+        driver, _result = run(policy, ["soplex", "milc"])
+        st = driver.controller.st
+        for group in st.touched_groups():
+            entry = st.entry(group)
+            assert sorted(entry.loc_of_slot) == list(range(9))
+            assert sorted(entry.slot_of_loc) == list(range(9))
+
+    def test_cameo_migrates_heavily(self):
+        driver, result = run("cameo", ["soplex"])
+        assert result.total_swaps > 100
+        assert driver.controller.st.migrated_groups()
+
+    def test_static_never_migrates(self):
+        driver, result = run("static", ["soplex", "milc"])
+        assert result.total_swaps == 0
+        assert not driver.controller.st.migrated_groups()
+
+    def test_m1_owner_consistent_with_translation(self):
+        driver, _ = run("mdm", ["soplex", "milc"])
+        controller = driver.controller
+        for group in controller.st.touched_groups():
+            entry = controller.st.entry(group)
+            expected = controller.owner_of_slot(group, entry.m1_slot)
+            assert entry.m1_owner == expected or entry.m1_owner is None
+
+
+class TestAccountingInvariants:
+    def test_rsm_request_totals_match_served(self):
+        driver, result = run("profess", ["soplex", "milc"])
+        rsm = driver.controller.rsm
+        # Raw counters were reset at each sample; reconstruct totals from
+        # served counts: every served request was counted exactly once.
+        for core in range(2):
+            counted = (
+                rsm.counters[core].num_req_total_p
+                + rsm.counters[core].num_req_total_s
+            )
+            sampled = sum(
+                1 for s in rsm.history if s.program == core
+            ) * driver.config.rsm.m_samp
+            assert counted + sampled == result.programs[core].requests
+
+    def test_m1_fraction_bounded(self):
+        _driver, result = run("mdm", ["soplex", "milc"])
+        for program in result.programs:
+            assert 0.0 <= program.m1_fraction <= 1.0
+
+    def test_energy_components_positive(self):
+        driver, result = run("pom", ["soplex"])
+        meter = driver.controller.energy
+        assert meter.dynamic_energy_nj() > 0
+        assert meter.background_energy_nj(result.cycles) > 0
+        assert result.energy_efficiency > 0
+
+    def test_swaps_add_energy(self):
+        _d1, static = run("static", ["soplex"])
+        _d2, cameo = run("cameo", ["soplex"])
+        # Same served requests; CAMEO's swaps move far more data.
+        assert cameo.energy_joules > static.energy_joules
+
+    def test_request_conservation(self):
+        driver, result = run("mdm", ["soplex", "milc"])
+        channel_data = sum(
+            c.stats.reads + c.stats.writes - c.stats.st_reads - c.stats.st_writes
+            for c in driver.controller.channels
+        )
+        assert channel_data == result.total_requests
+
+
+class TestManagementHelps:
+    def test_migration_beats_static_under_pressure(self):
+        # leslie3d: hot-set + stream blend with footprint above M1.
+        _d1, static = run("static", ["leslie3d"], config=SINGLE, requests=8000)
+        _d2, mdm = run("mdm", ["leslie3d"], config=SINGLE, requests=8000)
+        assert mdm.program(0).ipc > static.program(0).ipc
+
+    def test_m1_fraction_rises_under_migration(self):
+        _d1, static = run("static", ["leslie3d"], config=SINGLE, requests=8000)
+        _d2, mdm = run("mdm", ["leslie3d"], config=SINGLE, requests=8000)
+        assert mdm.program(0).m1_fraction > static.program(0).m1_fraction
+
+    def test_profess_tracks_mdm_when_alone(self):
+        # With one program there is no cross-program guidance to apply, so
+        # ProFess must behave very close to plain MDM.
+        _d1, mdm = run("mdm", ["soplex"], config=SINGLE, requests=4000)
+        _d2, prf = run("profess", ["soplex"], config=SINGLE, requests=4000)
+        assert prf.program(0).ipc == pytest.approx(mdm.program(0).ipc, rel=0.02)
+        assert prf.total_swaps == pytest.approx(mdm.total_swaps, rel=0.05)

@@ -1,0 +1,118 @@
+"""MDM statistics tests: Table 6 counters, Eqs. (5)-(7), phases."""
+
+import pytest
+
+from repro.common.config import MDMConfig
+from repro.core.mdm_stats import MDMProgramStats, Phase
+
+
+def stats(phase_updates=1000, recompute_updates=100):
+    return MDMProgramStats(
+        MDMConfig(
+            phase_updates=phase_updates, recompute_updates=recompute_updates
+        )
+    )
+
+
+class TestEquations:
+    def test_avg_cnt_eq6(self):
+        s = stats()
+        s.record_transition(0, 1, 3)
+        s.record_transition(0, 1, 5)
+        assert s.avg_cnt(1) == pytest.approx(4.0)
+
+    def test_avg_cnt_zero_when_unseen(self):
+        assert stats().avg_cnt(2) == 0.0
+
+    def test_laplace_smoothing_eq7(self):
+        s = stats()
+        # No data: uniform over the 3 valid q_E values.
+        assert s.transition_probability(0, 1) == pytest.approx(1 / 3)
+        s.record_transition(0, 1, 3)
+        # (1+1)/(1+3) and (0+1)/(1+3).
+        assert s.transition_probability(0, 1) == pytest.approx(0.5)
+        assert s.transition_probability(0, 2) == pytest.approx(0.25)
+
+    def test_probabilities_sum_to_one(self):
+        s = stats()
+        for _ in range(5):
+            s.record_transition(1, 2, 10)
+        s.record_transition(1, 3, 40)
+        total = sum(s.transition_probability(1, q) for q in (1, 2, 3))
+        assert total == pytest.approx(1.0)
+
+    def test_exp_cnt_eq5(self):
+        s = stats(phase_updates=2, recompute_updates=1)
+        s.record_transition(0, 1, 4)
+        s.record_transition(0, 1, 4)  # enters estimation, recomputes
+        # avg_cnt(1)=4, P(1|0)=3/5, others avg 0.
+        assert s.expected(0) == pytest.approx(4 * 3 / 5)
+
+    def test_invalid_qe_rejected(self):
+        with pytest.raises(ValueError):
+            stats().record_transition(0, 0, 1)
+
+    def test_invalid_qi_rejected(self):
+        with pytest.raises(ValueError):
+            stats().record_transition(4, 1, 1)
+
+
+class TestColdStart:
+    def test_prior_is_bucket_midpoint_mean(self):
+        s = stats()
+        # (4.5 + 19.5 + 48) / 3 = 24.0 with default boundaries (1, 8, 32).
+        expected_prior = ((1 + 8) / 2 + (8 + 32) / 2 + 1.5 * 32) / 3
+        assert s.expected(0) == pytest.approx(expected_prior)
+
+    def test_prior_uniform_over_qi(self):
+        s = stats()
+        assert len({s.expected(q) for q in range(4)}) == 1
+
+    def test_recompute_without_data_keeps_registers(self):
+        s = stats()
+        before = s.expected(2)
+        s.recompute()
+        assert s.expected(2) == before
+
+
+class TestPhases:
+    def test_starts_in_observation(self):
+        assert stats().phase is Phase.OBSERVATION
+
+    def test_transition_to_estimation(self):
+        s = stats(phase_updates=3, recompute_updates=100)
+        for _ in range(3):
+            s.record_transition(0, 1, 2)
+        assert s.phase is Phase.ESTIMATION
+        assert s.recomputations == 1  # recompute at phase entry
+
+    def test_recompute_interval_during_estimation(self):
+        s = stats(phase_updates=10, recompute_updates=2)
+        for _ in range(10):
+            s.record_transition(0, 1, 2)
+        assert s.phase is Phase.ESTIMATION
+        recomputes_at_entry = s.recomputations
+        s.record_transition(0, 1, 2)
+        s.record_transition(0, 1, 2)
+        assert s.recomputations == recomputes_at_entry + 1
+
+    def test_counters_reset_at_observation_start(self):
+        s = stats(phase_updates=2, recompute_updates=1)
+        for _ in range(4):  # full observation + full estimation
+            s.record_transition(0, 1, 5)
+        assert s.phase is Phase.OBSERVATION
+        assert s.num_q_sum_e[0] == 0
+        assert s.accum_cnt[1] == 0.0
+
+    def test_registers_survive_reset(self):
+        s = stats(phase_updates=2, recompute_updates=1)
+        for _ in range(4):
+            s.record_transition(0, 1, 5)
+        # exp_cnt learned from the estimation phase persists.
+        assert s.expected(0) == pytest.approx(5 * 5 / 7, rel=0.2)
+
+    def test_total_updates_counts_everything(self):
+        s = stats(phase_updates=2, recompute_updates=1)
+        for _ in range(7):
+            s.record_transition(0, 1, 1)
+        assert s.total_updates == 7

@@ -1,0 +1,102 @@
+"""Figure-of-merit tests (Section 4.3)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.metrics import (
+    WorkloadMetrics,
+    slowdown,
+    unfairness,
+    weighted_speedup,
+)
+from repro.sim.results import ProgramResult, SimulationResult
+
+
+def program(name, ipc, core=0):
+    return ProgramResult(
+        name=name,
+        core_id=core,
+        instructions=1000,
+        ipc=ipc,
+        requests=100,
+        m1_fraction=0.5,
+        passes_completed=1,
+        swaps_involving=0,
+    )
+
+
+def result(ipcs):
+    programs = tuple(
+        program(f"p{index}", ipc, index) for index, ipc in enumerate(ipcs)
+    )
+    return SimulationResult(
+        policy="test",
+        cycles=1000,
+        programs=programs,
+        total_requests=100,
+        total_swaps=3,
+        swap_fraction=0.03,
+        average_read_latency=100.0,
+        stc_hit_rate=0.9,
+        energy_joules=1.0,
+        energy_efficiency=100.0,
+    )
+
+
+class TestScalars:
+    def test_slowdown_eq1(self):
+        assert slowdown(2.0, 1.0) == 2.0
+
+    def test_no_contention_slowdown_one(self):
+        assert slowdown(1.5, 1.5) == 1.0
+
+    def test_slowdown_rejects_zero(self):
+        with pytest.raises(SimulationError):
+            slowdown(0.0, 1.0)
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup([2.0, 4.0]) == pytest.approx(0.75)
+
+    def test_weighted_speedup_ideal(self):
+        assert weighted_speedup([1.0] * 4) == pytest.approx(4.0)
+
+    def test_unfairness_is_max(self):
+        assert unfairness([1.5, 3.0, 2.0]) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            weighted_speedup([])
+        with pytest.raises(SimulationError):
+            unfairness([])
+
+
+class TestWorkloadMetrics:
+    def test_from_results(self):
+        multi = result([0.5, 0.25])
+        metrics = WorkloadMetrics.from_results(multi, [1.0, 1.0])
+        assert metrics.slowdowns == (2.0, 4.0)
+        assert metrics.unfairness == 4.0
+        assert metrics.weighted_speedup == pytest.approx(0.75)
+        assert metrics.program_names == ("p0", "p1")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadMetrics.from_results(result([0.5]), [1.0, 1.0])
+
+    def test_carries_memory_metrics(self):
+        metrics = WorkloadMetrics.from_results(result([0.5]), [1.0])
+        assert metrics.energy_efficiency == 100.0
+        assert metrics.swap_fraction == 0.03
+
+
+class TestSimulationResult:
+    def test_summary_line(self):
+        line = result([0.5]).summary_line()
+        assert "test" in line
+        assert "p0" in line
+
+    def test_ipc_by_core(self):
+        assert result([0.5, 0.25]).ipc_by_core == (0.5, 0.25)
+
+    def test_program_accessor(self):
+        assert result([0.5, 0.25]).program(1).name == "p1"

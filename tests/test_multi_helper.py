@@ -1,0 +1,79 @@
+"""Tests for the shared multiprogram-figure machinery (stubbed runner)."""
+
+import pytest
+
+from repro.experiments.multi import normalized_figure, sweep
+from repro.sim.metrics import WorkloadMetrics
+
+
+class StubRunner:
+    """Returns canned WorkloadMetrics; counts calls for cache checks."""
+
+    def __init__(self, values):
+        # values[workload][policy] -> (unfairness, weighted_speedup)
+        self.values = values
+        self.calls = 0
+
+    def workload_metrics(self, name, policy, config=None):
+        self.calls += 1
+        unfairness, speedup = self.values[name][policy]
+        return WorkloadMetrics(
+            policy=policy,
+            program_names=("a", "b"),
+            slowdowns=(unfairness, unfairness / 2),
+            weighted_speedup=speedup,
+            unfairness=unfairness,
+            energy_efficiency=100.0,
+            average_read_latency=50.0,
+            swap_fraction=0.02,
+        )
+
+
+VALUES = {
+    "w01": {"pom": (4.0, 1.0), "mdm": (3.6, 1.1)},
+    "w02": {"pom": (2.0, 2.0), "mdm": (2.2, 1.9)},
+}
+
+
+class TestSweep:
+    def test_structure(self):
+        runner = StubRunner(VALUES)
+        result = sweep(runner, ["pom", "mdm"], workloads=["w01", "w02"])
+        assert set(result) == {"w01", "w02"}
+        assert result["w01"]["mdm"].unfairness == 3.6
+
+
+class TestNormalizedFigure:
+    def test_ratios_and_summary(self):
+        runner = StubRunner(VALUES)
+        result = normalized_figure(
+            runner,
+            "figX",
+            "test figure",
+            policy="mdm",
+            metric=lambda m: m.unfairness,
+            higher_is_better=False,
+            workloads=["w01", "w02"],
+        )
+        ratios = {row[0]: row[3] for row in result.rows}
+        assert ratios["w01"] == pytest.approx(0.9)
+        assert ratios["w02"] == pytest.approx(1.1)
+        assert result.summary["best_key"] == "w01"
+        # geomean(0.9, 1.1) < 1: the figure shows a net improvement.
+        assert result.summary["geomean"] == pytest.approx(
+            (0.9 * 1.1) ** 0.5
+        )
+
+    def test_chart_in_notes(self):
+        runner = StubRunner(VALUES)
+        result = normalized_figure(
+            runner,
+            "figX",
+            "test figure",
+            policy="mdm",
+            metric=lambda m: m.weighted_speedup,
+            higher_is_better=True,
+            workloads=["w01", "w02"],
+        )
+        assert "baseline" in result.notes
+        assert "w01" in result.notes

@@ -1,0 +1,112 @@
+"""Multi-threaded program support (Section 3.1.1): all threads of a
+program share one program id, one private region, and one address space."""
+
+import pytest
+
+from repro.common.config import paper_quad_core
+from repro.common.errors import ConfigError
+from repro.common.events import EventQueue
+from repro.hybrid.memory import HybridMemoryController
+from repro.policies import make_policy
+from repro.sim.engine import SimulationDriver
+from repro.traces.generator import synthesize_trace
+
+SCALE = 128
+CONFIG = paper_quad_core(scale=SCALE)
+
+
+def traces(names, requests=1500):
+    return [
+        (name, synthesize_trace(name, requests, scale=SCALE, seed=index))
+        for index, name in enumerate(names)
+    ]
+
+
+class TestControllerMapping:
+    def test_default_is_identity(self):
+        controller = HybridMemoryController(
+            CONFIG, EventQueue(), make_policy("static", CONFIG)
+        )
+        assert controller.program_of_core == [0, 1, 2, 3]
+        assert controller.num_programs == 4
+
+    def test_two_threads_one_program(self):
+        controller = HybridMemoryController(
+            CONFIG,
+            EventQueue(),
+            make_policy("static", CONFIG),
+            program_of_core=[0, 0, 1, 1],
+        )
+        assert controller.num_programs == 2
+        assert controller.rsm.num_programs == 2
+        # Only two private regions are reserved.
+        assert controller.region_map.num_programs == 2
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigError):
+            HybridMemoryController(
+                CONFIG,
+                EventQueue(),
+                make_policy("static", CONFIG),
+                program_of_core=[0, 1],
+            )
+
+    def test_rejects_sparse_ids(self):
+        with pytest.raises(ConfigError):
+            HybridMemoryController(
+                CONFIG,
+                EventQueue(),
+                make_policy("static", CONFIG),
+                program_of_core=[0, 2, 2, 3],
+            )
+
+
+class TestDriverThreads:
+    def test_threads_share_page_table(self):
+        driver = SimulationDriver(
+            CONFIG,
+            "static",
+            traces(["milc", "milc", "soplex", "soplex"]),
+            program_of_core=[0, 0, 1, 1],
+        )
+        assert driver.page_tables[0] is driver.page_tables[1]
+        assert driver.page_tables[2] is driver.page_tables[3]
+        assert driver.page_tables[0] is not driver.page_tables[2]
+
+    def test_threads_counted_into_shared_program_rsm(self):
+        driver = SimulationDriver(
+            CONFIG,
+            "profess",
+            traces(["milc", "milc", "soplex", "soplex"]),
+            program_of_core=[0, 0, 1, 1],
+        )
+        result = driver.run()
+        rsm = driver.controller.rsm
+        program0 = (
+            rsm.counters[0].num_req_total_p + rsm.counters[0].num_req_total_s
+        )
+        sampled0 = sum(1 for s in rsm.history if s.program == 0)
+        total0 = program0 + sampled0 * CONFIG.rsm.m_samp
+        per_core = [p.requests for p in result.programs]
+        assert total0 == per_core[0] + per_core[1]
+
+    def test_run_completes_with_threads(self):
+        driver = SimulationDriver(
+            CONFIG,
+            "profess",
+            traces(["milc", "milc", "soplex", "soplex"]),
+            program_of_core=[0, 0, 1, 1],
+        )
+        result = driver.run()
+        assert all(p.ipc > 0 for p in result.programs)
+
+    def test_mismatched_mapping_rejected(self):
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            SimulationDriver(
+                CONFIG,
+                "static",
+                traces(["milc", "soplex"]),
+                program_of_core=[0],
+            )

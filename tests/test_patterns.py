@@ -1,0 +1,149 @@
+"""Access-pattern component tests."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceError
+from repro.traces.patterns import (
+    ChaseComponent,
+    HotSetComponent,
+    LINES_PER_BLOCK,
+    StreamComponent,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestStream:
+    def test_sequential_within_stripe(self):
+        stream = StreamComponent(0, 128, write_fraction=0.0)
+        lines = [stream.next_access(rng())[0] for _ in range(5)]
+        assert lines == [0, 1, 2, 3, 4]
+
+    def test_wraps_around(self):
+        stream = StreamComponent(0, 32, write_fraction=0.0)
+        generator = rng()
+        lines = [stream.next_access(generator)[0] for _ in range(33)]
+        assert lines[32] == lines[0]
+
+    def test_start_offset(self):
+        stream = StreamComponent(1000, 32, write_fraction=0.0)
+        assert stream.next_access(rng())[0] == 1000
+
+    def test_touches_per_line(self):
+        stream = StreamComponent(0, 64, 0.0, touches_per_line=2)
+        generator = rng()
+        lines = [stream.next_access(generator)[0] for _ in range(4)]
+        assert lines == [0, 0, 1, 1]
+
+    def test_multiple_streams_interleave(self):
+        stream = StreamComponent(0, 128, 0.0, num_streams=2)
+        generator = rng()
+        lines = [stream.next_access(generator)[0] for _ in range(4)]
+        assert lines == [0, 64, 1, 65]
+
+    def test_write_fraction_respected(self):
+        stream = StreamComponent(0, 64, write_fraction=1.0)
+        assert stream.next_access(rng())[1] is True
+
+    def test_stays_in_range(self):
+        stream = StreamComponent(64, 96, 0.5, num_streams=3)
+        generator = rng()
+        for _ in range(500):
+            line, _ = stream.next_access(generator)
+            assert 64 <= line < 64 + 96
+
+    def test_rejects_tiny_range(self):
+        with pytest.raises(TraceError):
+            StreamComponent(0, 16, 0.0)
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(TraceError):
+            StreamComponent(0, 64, 1.5)
+
+
+class TestHotSet:
+    def test_zipf_concentrates_on_few_blocks(self):
+        hot = HotSetComponent(0, 256 * LINES_PER_BLOCK, 0.0, zipf_s=1.2)
+        generator = rng()
+        blocks = [
+            hot.next_access(generator)[0] // LINES_PER_BLOCK
+            for _ in range(4000)
+        ]
+        counts = np.bincount(blocks, minlength=256)
+        top_share = np.sort(counts)[::-1][:16].sum() / 4000
+        assert top_share > 0.4  # top 1/16 of blocks get >40% of accesses
+
+    def test_episodes_are_block_local(self):
+        hot = HotSetComponent(
+            0, 64 * LINES_PER_BLOCK, 0.0, episode_length=1000
+        )
+        generator = rng()
+        blocks = {
+            hot.next_access(generator)[0] // LINES_PER_BLOCK
+            for _ in range(20)
+        }
+        assert len(blocks) <= 2  # one long episode spans one block
+
+    def test_stays_in_range(self):
+        hot = HotSetComponent(320, 10 * LINES_PER_BLOCK, 0.3)
+        generator = rng()
+        for _ in range(1000):
+            line, _ = hot.next_access(generator)
+            assert 320 <= line < 320 + 10 * LINES_PER_BLOCK
+
+
+class TestChase:
+    def test_episode_lengths_short(self):
+        chase = ChaseComponent(
+            0, 512 * LINES_PER_BLOCK, 0.0, episode_length=1
+        )
+        generator = rng()
+        blocks = [
+            chase.next_access(generator)[0] // LINES_PER_BLOCK
+            for _ in range(200)
+        ]
+        distinct = len(set(blocks))
+        assert distinct > 50  # single-touch visits roam widely
+
+    def test_window_locality(self):
+        chase = ChaseComponent(
+            0,
+            4096 * LINES_PER_BLOCK,
+            0.0,
+            window_blocks=8,
+            jump_probability=0.0,
+        )
+        generator = rng()
+        blocks = [
+            chase.next_access(generator)[0] // LINES_PER_BLOCK
+            for _ in range(100)
+        ]
+        steps = [abs(b - a) for a, b in zip(blocks, blocks[1:])]
+        assert max(steps) <= 8
+
+    def test_jumps_break_locality(self):
+        chase = ChaseComponent(
+            0,
+            4096 * LINES_PER_BLOCK,
+            0.0,
+            window_blocks=4,
+            jump_probability=1.0,
+            episode_length=1,
+        )
+        generator = rng()
+        blocks = [
+            chase.next_access(generator)[0] // LINES_PER_BLOCK
+            for _ in range(100)
+        ]
+        steps = [abs(b - a) for a, b in zip(blocks, blocks[1:])]
+        assert max(steps) > 64
+
+    def test_stays_in_range(self):
+        chase = ChaseComponent(128, 20 * LINES_PER_BLOCK, 0.2)
+        generator = rng()
+        for _ in range(1000):
+            line, _ = chase.next_access(generator)
+            assert 128 <= line < 128 + 20 * LINES_PER_BLOCK

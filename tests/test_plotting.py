@@ -1,0 +1,54 @@
+"""ASCII chart tests."""
+
+import pytest
+
+from repro.analysis.plotting import hbar_chart, sparkline
+
+
+class TestHBar:
+    def test_plain_bars_scale_to_max(self):
+        chart = hbar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_values_printed(self):
+        chart = hbar_chart({"x": 1.234}, width=10)
+        assert "1.234" in chart
+
+    def test_diverging_directions(self):
+        chart = hbar_chart({"up": 1.2, "down": 0.8}, baseline=1.0, width=20)
+        up_line, down_line, axis = chart.splitlines()
+        # Bars above baseline sit right of the axis, below sit left.
+        assert up_line.index("#") > up_line.index("|")
+        assert down_line.index("#") < down_line.index("|")
+        assert "baseline" in axis
+
+    def test_baseline_value_renders_no_bar(self):
+        chart = hbar_chart({"flat": 1.0}, baseline=1.0, width=20)
+        assert "#" not in chart.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hbar_chart({})
+
+    def test_labels_aligned(self):
+        chart = hbar_chart({"a": 1.0, "longer": 1.0}, width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_rises(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] < line[-1]
+
+    def test_constant_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

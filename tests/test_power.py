@@ -1,0 +1,61 @@
+"""Energy-meter tests (requests/s/W of Section 4.3)."""
+
+import pytest
+
+from repro.common.config import EnergyConfig
+from repro.mem.power import EnergyMeter
+from repro.mem.request import Module
+
+
+def meter(channels=2):
+    return EnergyMeter(EnergyConfig(), num_channels=channels)
+
+
+class TestAccounting:
+    def test_dynamic_energy_sums_events(self):
+        m = meter()
+        m.record_activate(Module.M1)
+        m.record_line(Module.M1, is_write=False)
+        cfg = EnergyConfig()
+        assert m.dynamic_energy_nj() == pytest.approx(
+            cfg.m1_activate_nj + cfg.m1_read_line_nj
+        )
+
+    def test_nvm_writes_cost_more(self):
+        cfg = EnergyConfig()
+        assert cfg.m2_write_line_nj > 5 * cfg.m1_write_line_nj
+
+    def test_line_count_batches(self):
+        m = meter()
+        m.record_line(Module.M2, is_write=True, count=32)
+        assert m.line_writes[Module.M2] == 32
+
+    def test_background_scales_with_time_and_channels(self):
+        one = meter(channels=1)
+        two = meter(channels=2)
+        cycles = 3_200_000  # 1 ms at 3.2 GHz
+        assert two.background_energy_nj(cycles) == pytest.approx(
+            2 * one.background_energy_nj(cycles)
+        )
+
+    def test_background_magnitude(self):
+        m = meter(channels=1)
+        cycles = 3_200_000  # 1 ms
+        # 180 mW for 1 ms = 180 uJ = 180_000 nJ.
+        assert m.background_energy_nj(cycles) == pytest.approx(180_000, rel=0.01)
+
+    def test_total_energy_joules(self):
+        m = meter(channels=1)
+        m.record_activate(Module.M1)
+        joules = m.total_energy_j(3_200_000)
+        assert joules > 0
+
+    def test_efficiency_requests_per_joule(self):
+        m = meter(channels=1)
+        m.record_served_request(1000)
+        cycles = 3_200_000
+        expected = 1000 / m.total_energy_j(cycles)
+        assert m.efficiency_requests_per_joule(cycles) == pytest.approx(expected)
+
+    def test_efficiency_zero_when_no_time(self):
+        assert meter().efficiency_requests_per_joule(0) == 0.0

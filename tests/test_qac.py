@@ -1,0 +1,49 @@
+"""QAC quantization tests (Table 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.qac import bucket_midpoint, quantize_access_count
+
+
+class TestTable5:
+    @pytest.mark.parametrize(
+        "count, expected",
+        [
+            (0, 0),
+            (1, 1),
+            (7, 1),
+            (8, 2),
+            (31, 2),
+            (32, 3),
+            (63, 3),
+            (1000, 3),
+        ],
+    )
+    def test_default_buckets(self, count, expected):
+        assert quantize_access_count(count) == expected
+
+    def test_custom_boundaries(self):
+        assert quantize_access_count(5, boundaries=(2, 6)) == 1
+        assert quantize_access_count(6, boundaries=(2, 6)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_access_count(-1)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_monotone(self, count):
+        assert quantize_access_count(count) <= quantize_access_count(count + 1)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_in_range(self, count):
+        assert 0 <= quantize_access_count(count) <= 3
+
+    @given(st.integers(min_value=1, max_value=3))
+    def test_midpoint_lands_in_its_bucket(self, value):
+        mid = bucket_midpoint(value)
+        assert quantize_access_count(int(mid)) == value
+
+    def test_midpoint_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bucket_midpoint(0)

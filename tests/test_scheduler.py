@@ -1,0 +1,70 @@
+"""FR-FCFS-Cap scheduler tests (Section 4.1: cap = 4)."""
+
+import pytest
+
+from repro.mem.request import DeviceAddress, MemRequest, Module
+from repro.mem.scheduler import FrFcfsCapScheduler
+
+
+def _req(bank: int, row: int) -> MemRequest:
+    return MemRequest(
+        core_id=0,
+        address=DeviceAddress(Module.M1, bank, row),
+        is_write=False,
+        arrival=0,
+    )
+
+
+class TestSelection:
+    def test_prefers_row_hit_over_older_miss(self):
+        sched = FrFcfsCapScheduler(cap=4)
+        pending = [_req(0, 1), _req(0, 2)]
+        chosen = sched.select(pending, lambda r: r.address.row == 2)
+        assert chosen == 1
+
+    def test_oldest_when_no_hits(self):
+        sched = FrFcfsCapScheduler(cap=4)
+        pending = [_req(0, 1), _req(0, 2)]
+        assert sched.select(pending, lambda r: False) == 0
+
+    def test_cap_limits_consecutive_hits(self):
+        sched = FrFcfsCapScheduler(cap=2)
+        hit = lambda r: r.address.row == 9
+        pending = [_req(0, 1), _req(0, 9)]
+        # Two hits allowed...
+        assert sched.select(pending, hit) == 1
+        assert sched.select(pending, hit) == 1
+        # ...then the oldest (a miss) must be chosen.
+        assert sched.select(pending, hit) == 0
+
+    def test_miss_resets_streak(self):
+        sched = FrFcfsCapScheduler(cap=2)
+        hit = lambda r: r.address.row == 9
+        pending_hit = [_req(0, 1), _req(0, 9)]
+        sched.select(pending_hit, hit)
+        sched.select([_req(0, 1)], hit)  # a miss
+        # Streak reset: hits allowed again.
+        assert sched.select(pending_hit, hit) == 1
+
+    def test_reset_streak_explicit(self):
+        sched = FrFcfsCapScheduler(cap=1)
+        hit = lambda r: True
+        sched.select([_req(0, 1)], hit)
+        sched.reset_streak()
+        assert sched.select([_req(0, 2), _req(0, 3)], hit) == 0
+
+    def test_oldest_hit_chosen_first(self):
+        sched = FrFcfsCapScheduler(cap=4)
+        pending = [_req(0, 5), _req(1, 9), _req(2, 9)]
+        hit = lambda r: r.address.row == 9
+        assert sched.select(pending, hit) == 1
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FrFcfsCapScheduler().select([], lambda r: False)
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            FrFcfsCapScheduler(cap=0)

@@ -1,0 +1,84 @@
+"""Exponential smoothing tests (RSM's averaging, Section 3.1.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.smoothing import ExponentialSmoother
+
+
+class TestBasics:
+    def test_first_observation_is_value(self):
+        s = ExponentialSmoother(alpha=0.125)
+        assert s.update(10.0) == 10.0
+
+    def test_uninitialized_value_is_none(self):
+        assert ExponentialSmoother().value is None
+
+    def test_initialized_flag(self):
+        s = ExponentialSmoother()
+        assert not s.initialized
+        s.update(1.0)
+        assert s.initialized
+
+    def test_second_observation_moves_alpha_fraction(self):
+        s = ExponentialSmoother(alpha=0.25)
+        s.update(0.0)
+        assert s.update(8.0) == pytest.approx(2.0)
+
+    def test_paper_alpha(self):
+        s = ExponentialSmoother(alpha=0.125)
+        s.update(0.0)
+        assert s.update(16.0) == pytest.approx(2.0)
+
+    def test_bias_added_to_each_observation(self):
+        # RSM adds 1 to each counter before averaging, to avoid zeros.
+        s = ExponentialSmoother(alpha=0.5, bias=1.0)
+        assert s.update(0.0) == 1.0
+
+    def test_reset(self):
+        s = ExponentialSmoother()
+        s.update(5.0)
+        s.reset()
+        assert s.value is None
+
+    def test_alpha_one_tracks_exactly(self):
+        s = ExponentialSmoother(alpha=1.0)
+        s.update(3.0)
+        assert s.update(7.0) == 7.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ConfigError):
+            ExponentialSmoother(alpha=alpha)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1))
+    def test_stays_within_observed_range(self, observations):
+        s = ExponentialSmoother(alpha=0.125)
+        for value in observations:
+            s.update(value)
+        assert min(observations) <= s.value <= max(observations)
+
+    @given(
+        st.floats(min_value=0, max_value=1e3),
+        st.integers(min_value=1, max_value=200),
+    )
+    def test_converges_to_constant_input(self, value, repeats):
+        s = ExponentialSmoother(alpha=0.5)
+        for _ in range(repeats):
+            s.update(value)
+        if repeats > 30:
+            assert s.value == pytest.approx(value, abs=1e-3)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2))
+    def test_smoothing_reduces_jump_magnitude(self, observations):
+        s = ExponentialSmoother(alpha=0.125)
+        s.update(observations[0])
+        for value in observations[1:]:
+            before = s.value
+            after = s.update(value)
+            assert abs(after - before) <= abs(value - before) + 1e-9

@@ -1,0 +1,86 @@
+"""ST entry and Swap-group Table tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.hybrid.st import SwapGroupTable
+from repro.hybrid.st_entry import STEntry
+
+
+class TestSTEntry:
+    def test_identity_at_start(self):
+        entry = STEntry(9)
+        assert entry.is_identity()
+        assert entry.m1_slot == 0
+        for slot in range(9):
+            assert entry.location_of(slot) == slot
+
+    def test_swap_exchanges_locations(self):
+        entry = STEntry(9)
+        entry.swap(0, 5)
+        assert entry.location_of(5) == 0
+        assert entry.location_of(0) == 5
+        assert entry.m1_slot == 5
+        assert not entry.is_identity()
+
+    def test_swap_back_restores_identity(self):
+        entry = STEntry(9)
+        entry.swap(0, 5)
+        entry.swap(5, 0)
+        assert entry.is_identity()
+
+    def test_is_in_m1(self):
+        entry = STEntry(9)
+        assert entry.is_in_m1(0)
+        entry.swap(0, 3)
+        assert entry.is_in_m1(3)
+        assert not entry.is_in_m1(0)
+
+    def test_swap_same_slot_rejected(self):
+        with pytest.raises(SimulationError):
+            STEntry(9).swap(2, 2)
+
+    def test_qac_defaults_zero(self):
+        assert STEntry(9).qac == [0] * 9
+
+    def test_m1_owner_default_none(self):
+        assert STEntry(9).m1_owner is None
+
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=50))
+    def test_permutation_invariant(self, swaps):
+        entry = STEntry(9)
+        for a, b in swaps:
+            if a != b:
+                entry.swap(a, b)
+        # loc_of_slot and slot_of_loc stay mutually inverse permutations.
+        assert sorted(entry.loc_of_slot) == list(range(9))
+        assert sorted(entry.slot_of_loc) == list(range(9))
+        for slot in range(9):
+            assert entry.slot_at(entry.location_of(slot)) == slot
+
+
+class TestSwapGroupTable:
+    def test_lazy_materialization(self):
+        table = SwapGroupTable(100, 9)
+        assert len(table) == 0
+        table.entry(5)
+        assert len(table) == 1
+        assert table.touched_groups() == [5]
+
+    def test_same_object_returned(self):
+        table = SwapGroupTable(100, 9)
+        assert table.entry(5) is table.entry(5)
+
+    def test_out_of_range(self):
+        table = SwapGroupTable(100, 9)
+        with pytest.raises(IndexError):
+            table.entry(100)
+        with pytest.raises(IndexError):
+            table.entry(-1)
+
+    def test_migrated_groups(self):
+        table = SwapGroupTable(100, 9)
+        table.entry(1)
+        table.entry(2).swap(0, 4)
+        assert table.migrated_groups() == [2]

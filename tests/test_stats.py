@@ -1,0 +1,118 @@
+"""Statistics helper tests (box plots, geomean — Figure 5 machinery)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import (
+    boxplot_stats,
+    geomean,
+    mean,
+    percentile,
+    stddev,
+)
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.5]) == pytest.approx(3.5)
+
+    def test_identity(self):
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1))
+    def test_at_most_arithmetic_mean(self, values):
+        assert geomean(values) <= mean(values) + 1e-9
+
+
+class TestMeanStd:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_stddev_constant_is_zero(self):
+        assert stddev([4, 4, 4]) == 0
+
+    def test_stddev_known(self):
+        assert stddev([0, 2]) == pytest.approx(1.0)
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 0.5) == pytest.approx(2.5)
+
+    def test_min_max(self):
+        data = [5, 7, 9]
+        assert percentile(data, 0.0) == 5
+        assert percentile(data, 1.0) == 9
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestBoxplot:
+    def test_known_quartiles(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5])
+        assert stats.median == 3
+        assert stats.q1 == 2
+        assert stats.q3 == 4
+
+    def test_outlier_detection(self):
+        data = [10, 11, 12, 13, 14, 100]
+        stats = boxplot_stats(data)
+        assert 100 in stats.outliers
+        assert stats.maximum < 100  # whisker excludes the outlier
+
+    def test_no_outliers_whiskers_are_range(self):
+        data = [1.0, 2.0, 3.0]
+        stats = boxplot_stats(data)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.outliers == ()
+
+    def test_geometric_mean_included(self):
+        stats = boxplot_stats([2.0, 8.0])
+        assert stats.geometric_mean == pytest.approx(4.0)
+
+    def test_iqr(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5])
+        assert stats.iqr == 2
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1))
+    def test_invariants(self, values):
+        stats = boxplot_stats(values)
+        assert stats.q1 <= stats.median <= stats.q3
+        assert stats.minimum <= stats.maximum
+        low_fence = stats.q1 - 1.5 * stats.iqr
+        high_fence = stats.q3 + 1.5 * stats.iqr
+        for outlier in stats.outliers:
+            assert outlier < low_fence or outlier > high_fence
+        assert not math.isnan(stats.geometric_mean)

@@ -1,0 +1,67 @@
+"""Result persistence and paper-report tests."""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.paper_report import EXPECTATIONS
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.store import ResultStore, load_result, save_result
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="test",
+        headers=["program", "ratio"],
+        rows=[["lbm", 1.38], ["omnetpp", 0.985]],
+        summary={"geomean": 1.14, "best_key": "lbm", "best_improvement": 0.38},
+        notes="note",
+    )
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(sample_result(), path)
+        loaded = load_result(path)
+        assert loaded.experiment_id == "fig5"
+        assert loaded.rows[0] == ["lbm", 1.38]
+        assert loaded.summary["geomean"] == 1.14
+        assert loaded.notes == "note"
+
+    def test_store_by_id(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(sample_result())
+        assert store.ids() == ["fig5"]
+        assert store.load("fig5").title == "test"
+
+    def test_missing_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path).load("nope") is None
+
+    def test_non_jsonable_values_stringified(self, tmp_path):
+        result = sample_result()
+        result.summary["obj"] = object()
+        path = tmp_path / "r.json"
+        save_result(result, path)
+        assert isinstance(load_result(path).summary["obj"], str)
+
+
+class TestExpectations:
+    def test_every_paper_artifact_has_expectation(self):
+        paper_ids = {
+            experiment_id
+            for experiment_id in EXPERIMENTS
+            if not experiment_id.startswith(("ablation", "ext"))
+        }
+        assert paper_ids <= set(EXPECTATIONS)
+
+    def test_measured_extractors_run(self):
+        expectation = EXPECTATIONS["fig5"]
+        text = expectation.measured(sample_result())
+        assert "+14" in text and "lbm" in text
+
+    def test_shape_check_fig5(self):
+        assert EXPECTATIONS["fig5"].shape_holds(sample_result())
+
+    def test_shape_check_fails_below_one(self):
+        bad = sample_result()
+        bad.summary["geomean"] = 0.9
+        assert not EXPECTATIONS["fig5"].shape_holds(bad)

@@ -1,0 +1,123 @@
+"""Trace characterization tests, including profile validation vs Table 9."""
+
+import pytest
+
+from repro.cpu.trace import Trace
+from repro.traces.generator import synthesize_trace
+from repro.traces.spec import profile
+from repro.traces.stats import (
+    access_count_histogram,
+    characterize,
+)
+
+
+def trace_of(blocks, writes=None):
+    lines = [b * 32 for b in blocks]
+    writes = writes or [False] * len(blocks)
+    return Trace.from_records(
+        [(10, line, w) for line, w in zip(lines, writes)]
+    )
+
+
+class TestCharacterize:
+    def test_counts(self):
+        c = characterize(trace_of([0, 0, 1, 2]))
+        assert c.requests == 4
+        assert c.distinct_blocks == 3
+        assert c.mean_accesses_per_block == pytest.approx(4 / 3)
+
+    def test_same_block_fraction(self):
+        c = characterize(trace_of([0, 0, 1, 1]))
+        assert c.same_block_fraction == pytest.approx(2 / 3)
+
+    def test_top_decile_share_uniform(self):
+        c = characterize(trace_of(list(range(100))))
+        assert c.top_decile_access_share == pytest.approx(0.1)
+
+    def test_top_decile_share_skewed(self):
+        blocks = [0] * 90 + list(range(1, 11))
+        c = characterize(trace_of(blocks))
+        assert c.top_decile_access_share > 0.85
+
+    def test_reuse_distance_simple_loop(self):
+        # 0 1 2 0 1 2 ... : reuse distance is always 2.
+        c = characterize(trace_of([0, 1, 2] * 30))
+        assert c.median_block_reuse_distance == pytest.approx(2.0)
+
+    def test_reuse_distance_none_for_stream(self):
+        c = characterize(trace_of(list(range(200))))
+        assert c.median_block_reuse_distance is None
+
+    def test_write_fraction(self):
+        c = characterize(trace_of([0, 1], writes=[True, False]))
+        assert c.write_fraction == 0.5
+
+
+class TestHistogram:
+    def test_streaming_blocks_bucket_one(self):
+        histogram = access_count_histogram(trace_of(list(range(50))))
+        assert histogram[1] == 50
+        assert histogram[2] == 0
+
+    def test_hot_block_top_bucket(self):
+        histogram = access_count_histogram(trace_of([7] * 40))
+        assert histogram[3] == 1
+
+    def test_custom_boundaries(self):
+        histogram = access_count_histogram(
+            trace_of([0] * 5), boundaries=(1, 4)
+        )
+        assert histogram == {1: 0, 2: 1}
+
+
+class TestProfileValidation:
+    """Synthetic traces must exhibit each program's published character."""
+
+    @pytest.mark.parametrize("name", ["mcf", "omnetpp", "lbm", "bwaves"])
+    def test_mpki_matches_table9(self, name):
+        trace = synthesize_trace(name, 20_000, scale=64, seed=5)
+        assert characterize(trace).mpki == pytest.approx(
+            profile(name).mpki, rel=0.2
+        )
+
+    def test_lbm_is_write_heavy(self):
+        c = characterize(synthesize_trace("lbm", 20_000, scale=64, seed=5))
+        others = characterize(
+            synthesize_trace("mcf", 20_000, scale=64, seed=5)
+        )
+        assert c.write_fraction > others.write_fraction
+
+    def test_irregular_programs_spread_accesses_thin(self):
+        # omnetpp roams widely (few accesses per block); libquantum sweeps
+        # a tiny footprint over and over (many accesses per block).
+        omnetpp = characterize(
+            synthesize_trace("omnetpp", 20_000, scale=64, seed=5)
+        )
+        libquantum = characterize(
+            synthesize_trace("libquantum", 20_000, scale=64, seed=5)
+        )
+        assert (
+            omnetpp.mean_accesses_per_block
+            < libquantum.mean_accesses_per_block
+        )
+
+    def test_hot_set_programs_are_skewed(self):
+        zeusmp = characterize(
+            synthesize_trace("zeusmp", 20_000, scale=64, seed=5)
+        )
+        libquantum = characterize(
+            synthesize_trace("libquantum", 20_000, scale=64, seed=5)
+        )
+        assert (
+            zeusmp.top_decile_access_share
+            > libquantum.top_decile_access_share
+        )
+
+    def test_footprints_ordered_like_table9(self):
+        # mcf (525 MB) touches more memory than libquantum (32 MB), whose
+        # entire scaled footprint is swept within the trace.
+        mcf = characterize(synthesize_trace("mcf", 30_000, scale=64, seed=5))
+        libq = characterize(
+            synthesize_trace("libquantum", 30_000, scale=64, seed=5)
+        )
+        assert mcf.footprint_bytes > libq.footprint_bytes

@@ -1,0 +1,81 @@
+"""Unit-conversion and arithmetic helper tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import (
+    CPU_CYCLES_PER_CHANNEL_CYCLE,
+    GB,
+    KB,
+    MB,
+    cpu_cycles_from_ns,
+    is_power_of_two,
+    log2_exact,
+    ns_from_cpu_cycles,
+)
+
+
+class TestSizes:
+    def test_kb(self):
+        assert KB == 1024
+
+    def test_mb(self):
+        assert MB == 1024 * 1024
+
+    def test_gb(self):
+        assert GB == 1024**3
+
+
+class TestCycleConversion:
+    def test_trcd_dram(self):
+        # 13.75 ns at 3.2 GHz = 44 cycles exactly.
+        assert cpu_cycles_from_ns(13.75) == 44
+
+    def test_trcd_nvm(self):
+        assert cpu_cycles_from_ns(137.5) == 440
+
+    def test_twr_nvm(self):
+        assert cpu_cycles_from_ns(275.0) == 880
+
+    def test_rounds_up(self):
+        # 1 ns at 3.2 GHz = 3.2 cycles -> 4.
+        assert cpu_cycles_from_ns(1.0) == 4
+
+    def test_zero(self):
+        assert cpu_cycles_from_ns(0.0) == 0
+
+    def test_channel_ratio(self):
+        assert CPU_CYCLES_PER_CHANNEL_CYCLE == 4
+
+    def test_roundtrip_close(self):
+        cycles = cpu_cycles_from_ns(100.0)
+        assert ns_from_cpu_cycles(cycles) == pytest.approx(100.0, rel=0.02)
+
+    @given(st.floats(min_value=0.001, max_value=1e6))
+    def test_never_undershoots(self, ns):
+        # Rounding up means the cycle count always covers the constraint.
+        assert ns_from_cpu_cycles(cpu_cycles_from_ns(ns)) >= ns - 1e-6
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 1 << 30])
+    def test_positive_cases(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000])
+    def test_negative_cases(self, value):
+        assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(1024) == 10
+
+    def test_log2_exact_one(self):
+        assert log2_exact(1) == 0
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_log2_roundtrip(self, exponent):
+        assert log2_exact(1 << exponent) == exponent

@@ -1,0 +1,88 @@
+"""Runtime invariant-checker tests, including a light fuzz."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.config import paper_quad_core
+from repro.sim.engine import SimulationDriver
+from repro.sim.validation import ValidationError, validate_controller
+from repro.traces.generator import synthesize_trace
+
+SCALE = 128
+CONFIG = paper_quad_core(scale=SCALE)
+
+
+def run(policy, programs, requests=2000, seed=3):
+    traces = [
+        (name, synthesize_trace(name, requests, scale=SCALE, seed=index))
+        for index, name in enumerate(programs)
+    ]
+    driver = SimulationDriver(CONFIG, policy, traces, seed=seed)
+    driver.run()
+    return driver.controller
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize(
+        "policy", ["static", "cameo", "pom", "silcfm", "mempod", "mdm", "profess"]
+    )
+    def test_every_policy_passes_validation(self, policy):
+        controller = run(policy, ["soplex", "milc"])
+        assert validate_controller(controller) > 0
+
+
+class TestViolationsDetected:
+    def test_broken_permutation(self):
+        controller = run("mdm", ["soplex"])
+        group = controller.st.touched_groups()[0]
+        controller.st.entry(group).loc_of_slot[0] = 5  # corrupt
+        with pytest.raises(ValidationError):
+            validate_controller(controller)
+
+    def test_out_of_range_qac(self):
+        controller = run("mdm", ["soplex"])
+        group = controller.st.touched_groups()[0]
+        controller.st.entry(group).qac[3] = 9
+        with pytest.raises(ValidationError):
+            validate_controller(controller)
+
+    def test_wrong_m1_owner(self):
+        controller = run("mdm", ["soplex"])
+        for group in controller.st.touched_groups():
+            entry = controller.st.entry(group)
+            real = controller.owner_of_slot(group, entry.m1_slot)
+            if real is not None:
+                entry.m1_owner = real + 1
+                break
+        with pytest.raises(ValidationError):
+            validate_controller(controller)
+
+    def test_inconsistent_rsm(self):
+        controller = run("profess", ["soplex", "milc"])
+        controller.rsm.counters[0].num_swap_self = (
+            controller.rsm.counters[0].num_swap_total + 5
+        )
+        with pytest.raises(ValidationError):
+            validate_controller(controller)
+
+
+class TestFuzz:
+    """Random mixes and policies keep every invariant (mini fuzz)."""
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        policy=st.sampled_from(["cameo", "pom", "mdm", "profess"]),
+        programs=st.lists(
+            st.sampled_from(["soplex", "milc", "zeusmp", "omnetpp", "lbm"]),
+            min_size=1,
+            max_size=4,
+        ),
+        seed=st.integers(min_value=0, max_value=7),
+    )
+    def test_random_runs_stay_valid(self, policy, programs, seed):
+        controller = run(policy, programs, requests=800, seed=seed)
+        assert validate_controller(controller) > 0

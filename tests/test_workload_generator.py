@@ -1,0 +1,62 @@
+"""Random workload-mix generator tests."""
+
+import pytest
+
+from repro.traces.spec import PROGRAM_PROFILES
+from repro.workloads.generator import (
+    HEAVY,
+    LIGHT,
+    MEDIUM,
+    random_mix,
+    random_mixes,
+)
+
+
+class TestClasses:
+    def test_classes_partition_table9(self):
+        assert set(HEAVY) | set(MEDIUM) | set(LIGHT) == set(PROGRAM_PROFILES)
+        assert not set(HEAVY) & set(MEDIUM)
+        assert not set(MEDIUM) & set(LIGHT)
+
+    def test_known_members(self):
+        assert "mcf" in HEAVY
+        assert "zeusmp" in LIGHT
+
+
+class TestRandomMix:
+    def test_size(self):
+        assert len(random_mix(seed=1)) == 4
+
+    def test_deterministic(self):
+        assert random_mix(seed=1, index=3) == random_mix(seed=1, index=3)
+
+    def test_indices_differ(self):
+        mixes = {random_mix(seed=1, index=i) for i in range(10)}
+        assert len(mixes) > 5
+
+    def test_contains_heavy_and_light(self):
+        for index in range(20):
+            mix = random_mix(seed=2, index=index)
+            assert any(p in HEAVY for p in mix)
+            assert any(p not in HEAVY for p in mix)
+
+    def test_all_programs_valid(self):
+        for index in range(20):
+            for program in random_mix(seed=3, index=index):
+                assert program in PROGRAM_PROFILES
+
+    def test_no_duplicates_mode(self):
+        for index in range(20):
+            mix = random_mix(seed=4, index=index, allow_duplicates=False)
+            assert len(set(mix)) == len(mix)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_mix(seed=1, size=1)
+
+
+class TestRandomMixes:
+    def test_named_and_counted(self):
+        mixes = random_mixes(seed=5, count=3)
+        assert sorted(mixes) == ["r01", "r02", "r03"]
+        assert all(len(m) == 4 for m in mixes.values())

@@ -1,0 +1,60 @@
+"""Table 9 / Table 10 definition tests."""
+
+import pytest
+
+from repro.traces.spec import PROGRAM_PROFILES
+from repro.workloads.table9 import FIG5_PROGRAMS, PROGRAMS
+from repro.workloads.table10 import (
+    FAIRNESS_DETAIL_WORKLOADS,
+    WORKLOAD_NAMES,
+    WORKLOADS,
+    workload,
+)
+
+
+class TestTable9:
+    def test_ten_programs(self):
+        assert len(PROGRAMS) == 10
+
+    def test_profiles_cover_programs(self):
+        assert set(PROGRAMS) == set(PROGRAM_PROFILES)
+
+    def test_fig5_excludes_libquantum(self):
+        assert "libquantum" not in FIG5_PROGRAMS
+        assert len(FIG5_PROGRAMS) == 9
+
+
+class TestTable10:
+    def test_nineteen_workloads(self):
+        assert len(WORKLOADS) == 19
+        assert WORKLOAD_NAMES == tuple(f"w{i:02d}" for i in range(1, 20))
+
+    def test_each_has_four_programs(self):
+        for programs in WORKLOADS.values():
+            assert len(programs) == 4
+
+    def test_all_programs_known(self):
+        for programs in WORKLOADS.values():
+            for name in programs:
+                assert name in PROGRAMS
+
+    def test_paper_rows_spotcheck(self):
+        assert WORKLOADS["w01"] == ("mcf", "libquantum", "leslie3d", "lbm")
+        assert WORKLOADS["w09"] == ("mcf", "soplex", "lbm", "GemsFDTD")
+        assert WORKLOADS["w16"] == ("libquantum", "libquantum", "bwaves", "zeusmp")
+        assert WORKLOADS["w19"] == ("milc", "libquantum", "omnetpp", "leslie3d")
+
+    def test_duplicates_preserved(self):
+        assert WORKLOADS["w03"].count("lbm") == 2
+        assert WORKLOADS["w17"].count("mcf") == 2
+        assert WORKLOADS["w18"].count("milc") == 2
+
+    def test_detail_workloads_are_fig2_set(self):
+        assert FAIRNESS_DETAIL_WORKLOADS == ("w09", "w16", "w19")
+
+    def test_lookup(self):
+        assert workload("w05") == WORKLOADS["w05"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            workload("w99")
