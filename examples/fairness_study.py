@@ -46,7 +46,7 @@ def main(workload: str = "w19") -> None:
 
     # Look inside ProFess: final slowdown factors and case counts.
     profess_run = runner.run_workload(workload, "profess")
-    policy = profess_run.extra["policy_object"]
+    stats = profess_run.policy_stats
     history = profess_run.extra["rsm_history"]
     print("\nRSM slowdown factors (last sample per program):")
     for core, program in enumerate(programs):
@@ -59,11 +59,11 @@ def main(workload: str = "w19") -> None:
                 f"SF_B={last.smoothed_sf_b:6.3f}"
             )
     print("\nTable 7 decision-case counts:")
-    for case, count in policy.case_counts.items():
+    for case, count in stats.case_counts.items():
         label = {
-            1: "case 1 (help c_M2: consider M1 vacant)",
-            2: "case 2 (protect c_M1: no swap)",
-            3: "case 3 (product rule: no swap)",
+            "1": "case 1 (help c_M2: consider M1 vacant)",
+            "2": "case 2 (protect c_M1: no swap)",
+            "3": "case 3 (product rule: no swap)",
             "default": "default (plain MDM)",
             "same": "same owner / vacant M1 (plain MDM)",
         }[case]

@@ -28,6 +28,7 @@ from repro.core.mdm import MDMPolicy
 from repro.core.profess import ProFessPolicy
 from repro.core.rsm import RSM
 from repro.cpu.trace import Trace
+from repro.exec import Executor, ResultCache, RunSpec
 from repro.experiments.runner import ExperimentRunner
 from repro.policies import make_policy
 from repro.sim.engine import SimulationDriver
@@ -44,10 +45,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ExperimentRunner",
+    "Executor",
     "MDMPolicy",
     "PROGRAMS",
     "ProFessPolicy",
     "RSM",
+    "ResultCache",
+    "RunSpec",
     "SimulationDriver",
     "SystemConfig",
     "Trace",

@@ -15,13 +15,51 @@ import sys
 import time
 from pathlib import Path
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    UnknownExperimentError,
+    resolve_experiment_ids,
+    run_experiment,
+)
 from repro.experiments.runner import (
     DEFAULT_MULTI_REQUESTS,
     DEFAULT_SCALE,
     DEFAULT_SINGLE_REQUESTS,
     ExperimentRunner,
 )
+
+
+def _job_count(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return jobs
+
+
+def _cache_dir(value: str) -> Path:
+    path = Path(value)
+    if path.exists() and not path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"{value!r} exists and is not a directory"
+        )
+    return path
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every simulating subcommand."""
+    parser.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=1,
+        help="worker processes for independent runs (1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=_cache_dir,
+        default=None,
+        help="directory for the persistent result cache (shared across "
+        "invocations; repeat runs become cache hits)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,7 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run experiment(s)")
     run_parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig5, table4) or 'all'",
+        nargs="+",
+        help="experiment id(s) (e.g. fig5 table4) or 'all'",
     )
     run_parser.add_argument(
         "--scale",
@@ -62,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None, help="directory for .txt reports"
     )
     run_parser.add_argument("--verbose", action="store_true")
+    _add_execution_flags(run_parser)
 
     report_parser = subparsers.add_parser(
         "report",
@@ -83,6 +123,8 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--store", type=Path, default=None, help="directory for JSON results"
     )
+    report_parser.add_argument("--verbose", action="store_true")
+    _add_execution_flags(report_parser)
 
     trace_parser = subparsers.add_parser(
         "trace", help="synthesize a program trace to a .npz file"
@@ -105,26 +147,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(
         scale=args.scale,
         multi_requests=args.requests,
         single_requests=args.single_requests,
         seed=args.seed,
-        verbose=args.verbose,
+        verbose=getattr(args, "verbose", False),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
-    ids = (
-        list(EXPERIMENTS)
-        if args.experiment == "all"
-        else [args.experiment]
-    )
+
+
+def _run(args: argparse.Namespace) -> int:
+    from repro.experiments.paper_report import format_run_stats
+
+    # Validate the complete request before simulating anything: a typo
+    # at the end of an id list must not waste the runs before it.
+    try:
+        ids = resolve_experiment_ids(args.experiment)
+    except UnknownExperimentError as error:
+        unknown = ", ".join(map(repr, error.unknown))
+        print(
+            f"unknown experiment(s) {unknown}; try 'profess list'",
+            file=sys.stderr,
+        )
+        return 2
+    runner = _make_runner(args)
     for experiment_id in ids:
-        if experiment_id not in EXPERIMENTS:
-            print(
-                f"unknown experiment {experiment_id!r}; try 'profess list'",
-                file=sys.stderr,
-            )
-            return 2
         started = time.time()
         result = run_experiment(experiment_id, runner)
         report = result.render()
@@ -134,23 +184,25 @@ def _run(args: argparse.Namespace) -> int:
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{experiment_id}.txt").write_text(report + "\n")
+    if args.verbose:
+        print(format_run_stats(runner))
     return 0
 
 
 def _report(args: argparse.Namespace) -> int:
-    from repro.experiments.paper_report import generate_experiments_md
+    from repro.experiments.paper_report import (
+        format_run_stats,
+        generate_experiments_md,
+    )
     from repro.experiments.store import ResultStore
 
-    runner = ExperimentRunner(
-        scale=args.scale,
-        multi_requests=args.requests,
-        single_requests=args.single_requests,
-        seed=args.seed,
-    )
+    runner = _make_runner(args)
     store = ResultStore(args.store) if args.store is not None else None
     started = time.time()
     generate_experiments_md(runner, args.output, store=store)
     print(f"wrote {args.output} in {time.time() - started:.0f}s")
+    if args.verbose:
+        print(format_run_stats(runner))
     return 0
 
 

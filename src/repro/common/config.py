@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigError
+from repro.common.serialize import canonical_digest
 from repro.common.units import (
     KB,
     MB,
@@ -474,6 +475,17 @@ class SystemConfig:
         # 13.75 + 13.75 + 13.75 + 3*160 + 275 = 796.25 ns.
         m1_read_done = t1.t_rp + t1.t_rcd + t1.cl + burst
         return m1_read_done + 2 * burst + t2.t_wr
+
+    def cache_token(self) -> str:
+        """Stable content hash of everything that affects simulation.
+
+        Unlike ``repr(config)``, the token walks the dataclass tree with
+        field names *sorted* and floats rendered in exact hex form, so it
+        is invariant under dataclass field reordering and float
+        formatting changes.  Two configs share a token iff every field
+        value is equal; any semantic change yields a new token.
+        """
+        return canonical_digest(self)
 
     def derived_k(self) -> int:
         """PoM's K derived per Section 4.1 from the configured timings.

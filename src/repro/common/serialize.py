@@ -1,0 +1,63 @@
+"""JSON-serialization helpers shared by the result stores and run cache.
+
+``jsonable`` lossily coerces arbitrary values into JSON-compatible ones
+(used for free-form report payloads); ``canonical_digest`` produces a
+stable content hash for cache keys, independent of dataclass field
+declaration order and of incidental float formatting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+
+def jsonable(value):
+    """Coerce ``value`` into something ``json.dump`` accepts.
+
+    Scalars pass through, containers recurse, numpy scalars unwrap via
+    ``.item()``, and anything else degrades to ``str(value)``.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def canonical_value(value):
+    """A canonical JSON-ready view of ``value`` for hashing.
+
+    Dataclasses become name-sorted dicts (stable under field reordering),
+    floats become their exact hex form (stable under formatting), and
+    containers recurse.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical_value(getattr(value, f.name))
+            for f in sorted(dataclasses.fields(value), key=lambda f: f.name)
+        }
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return float.hex(value)
+    if isinstance(value, (str, int)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): canonical_value(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    return str(value)
+
+
+def canonical_digest(value) -> str:
+    """SHA-256 hex digest of the canonical form of ``value``."""
+    payload = json.dumps(canonical_value(value), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

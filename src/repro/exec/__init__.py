@@ -1,0 +1,26 @@
+"""Execution subsystem: unified run specs, disk caching, parallelism.
+
+Three layers (see DESIGN.md):
+
+* :class:`~repro.exec.spec.RunSpec` — a frozen, content-addressed
+  description of one simulation.
+* :class:`~repro.exec.cache.ResultCache` — results persisted to disk
+  under :meth:`RunSpec.cache_key`, shared across processes and runs.
+* :class:`~repro.exec.executor.Executor` — batch execution over a
+  process pool with deterministic ordering and serial fallback.
+"""
+
+from repro.exec.cache import CACHE_VERSION, ResultCache
+from repro.exec.executor import Executor, RunEvent, execute_spec
+from repro.exec.spec import RunSpec, build_traces, workload_traces
+
+__all__ = [
+    "CACHE_VERSION",
+    "Executor",
+    "ResultCache",
+    "RunEvent",
+    "RunSpec",
+    "build_traces",
+    "execute_spec",
+    "workload_traces",
+]

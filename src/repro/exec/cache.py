@@ -1,0 +1,95 @@
+"""Disk-backed result cache keyed by :meth:`RunSpec.cache_key`.
+
+One JSON file per run, named by the spec's content hash and stamped with
+a format version.  Results written by one process — a CLI invocation, a
+benchmark session, a CI job — warm-start every later one: a matching key
+and version is a hit, anything else (absent file, corrupt JSON, stale
+version) is a miss that falls through to simulation.
+
+Writes are atomic (temp file + rename) so concurrent workers sharing a
+cache directory can never observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.exec.spec import RunSpec
+from repro.sim.results import SimulationResult
+
+#: Bump when the on-disk payload layout or SimulationResult schema
+#: changes incompatibly; older entries then read as misses.
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """A directory of simulation results, content-addressed by spec."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[SimulationResult]:
+        """The cached result for ``spec``, or None (counted as a miss)."""
+        path = self._path(spec.cache_key())
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        try:
+            result = SimulationResult.from_dict(payload["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: SimulationResult) -> Path:
+        """Persist one result; returns its path."""
+        key = spec.cache_key()
+        path = self._path(key)
+        payload = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "spec": spec.describe(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload) + "\n")
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/store counters for this cache instance's lifetime."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

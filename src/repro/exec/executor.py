@@ -1,0 +1,176 @@
+"""Execution engine: fan :class:`RunSpec`\\ s out over processes.
+
+The :class:`Executor` is the single funnel through which simulations
+run.  For every batch it:
+
+1. deduplicates specs by content hash (a figure often requests the same
+   stand-alone reference run many times),
+2. serves what it can from the :class:`~repro.exec.cache.ResultCache`,
+3. fans the remainder out over a ``ProcessPoolExecutor`` when
+   ``jobs > 1`` (falling back to in-process serial execution when
+   ``jobs == 1``, when there is only one run, or when the pool dies),
+4. persists fresh results to the cache and reports each completion
+   through an optional callback, and
+5. returns results in the exact order the specs were submitted,
+   regardless of completion order.
+
+Simulations are deterministic functions of their spec, so a parallel
+batch is bit-identical to a serial one — only wall-clock time changes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.spec import RunSpec, build_traces
+from repro.sim.results import SimulationResult
+
+#: Result provenance labels reported via :class:`RunEvent`.
+SOURCE_CACHE = "cache"
+SOURCE_SERIAL = "serial"
+SOURCE_POOL = "pool"
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Run one spec's simulation in the current process.
+
+    Module-level (picklable) so process-pool workers can receive it; the
+    spec is self-contained, so no other state crosses the boundary.
+    """
+    from repro.sim.engine import SimulationDriver
+
+    driver = SimulationDriver(
+        spec.config,
+        spec.policy,
+        build_traces(spec),
+        seed=spec.seed,
+        track_rsm_regions=spec.track_rsm_regions,
+    )
+    return driver.run()
+
+
+def _timed_execute(spec: RunSpec) -> tuple[SimulationResult, float]:
+    started = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One completed run, as reported to progress callbacks."""
+
+    spec: RunSpec
+    result: SimulationResult
+    #: Simulation wall-clock seconds (0 for cache hits).
+    elapsed: float
+    #: Where the result came from: "cache", "serial", or "pool".
+    source: str
+
+
+class Executor:
+    """Runs batches of specs with caching and optional parallelism."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        on_run: Optional[Callable[[RunEvent], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.on_run = on_run
+        #: Simulations actually executed (cache hits excluded).
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> SimulationResult:
+        """Run (or fetch) a single spec."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[RunSpec]) -> list[SimulationResult]:
+        """Run a batch; results align 1:1 with the submitted specs."""
+        specs = list(specs)
+        by_key: dict[str, SimulationResult] = {}
+        # Deduplicate while preserving first-appearance order so the
+        # execution schedule (and therefore any progress output) is
+        # deterministic.
+        unique: dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.cache_key(), spec)
+        pending: list[tuple[str, RunSpec]] = []
+        for key, spec in unique.items():
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                by_key[key] = cached
+                self._notify(RunEvent(spec, cached, 0.0, SOURCE_CACHE))
+            else:
+                pending.append((key, spec))
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_pool(pending, by_key)
+            else:
+                self._run_serial(pending, by_key)
+        return [by_key[spec.cache_key()] for spec in specs]
+
+    # ------------------------------------------------------------------
+    def _complete(
+        self,
+        key: str,
+        spec: RunSpec,
+        result: SimulationResult,
+        elapsed: float,
+        source: str,
+        by_key: dict[str, SimulationResult],
+    ) -> None:
+        by_key[key] = result
+        self.executed += 1
+        if self.cache is not None:
+            self.cache.put(spec, result)
+        self._notify(RunEvent(spec, result, elapsed, source))
+
+    def _notify(self, event: RunEvent) -> None:
+        if self.on_run is not None:
+            self.on_run(event)
+
+    def _run_serial(
+        self,
+        pending: Sequence[tuple[str, RunSpec]],
+        by_key: dict[str, SimulationResult],
+    ) -> None:
+        for key, spec in pending:
+            result, elapsed = _timed_execute(spec)
+            self._complete(key, spec, result, elapsed, SOURCE_SERIAL, by_key)
+
+    def _run_pool(
+        self,
+        pending: Sequence[tuple[str, RunSpec]],
+        by_key: dict[str, SimulationResult],
+    ) -> None:
+        """Parallel execution with graceful degradation to serial.
+
+        A broken pool (killed worker, fork failure, unpicklable state)
+        must not lose the batch: whatever did not complete in the pool is
+        re-run serially in this process.
+        """
+        remaining = dict(pending)
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    key: pool.submit(_timed_execute, spec)
+                    for key, spec in pending
+                }
+                for key, future in futures.items():
+                    result, elapsed = future.result()
+                    spec = remaining.pop(key)
+                    self._complete(
+                        key, spec, result, elapsed, SOURCE_POOL, by_key
+                    )
+        except (BrokenProcessPool, OSError):
+            self._run_serial(list(remaining.items()), by_key)

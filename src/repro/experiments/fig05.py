@@ -32,6 +32,15 @@ def single_program_ratios(
     """
     from repro.common.errors import SimulationError
 
+    if not skip_unfittable:
+        # One parallel wave for the whole figure (18 single-core runs).
+        runner.prefetch(
+            [
+                runner.spec_single(program, scheme, config=config)
+                for program in FIG5_PROGRAMS
+                for scheme in (baseline, policy)
+            ]
+        )
     ratios = {}
     for program in FIG5_PROGRAMS:
         try:

@@ -14,6 +14,9 @@ from repro.workloads.table9 import FIG5_PROGRAMS
 
 def run(runner: ExperimentRunner) -> ExperimentResult:
     """Reproduce Figure 7."""
+    runner.prefetch(
+        [runner.spec_single(program, "mdm") for program in FIG5_PROGRAMS]
+    )
     rows = []
     rates = {}
     for program in FIG5_PROGRAMS:

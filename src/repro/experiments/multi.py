@@ -24,7 +24,20 @@ def sweep(
     policies: Sequence[str],
     workloads: Sequence[str] = WORKLOAD_NAMES,
 ) -> dict[str, dict[str, WorkloadMetrics]]:
-    """metrics[workload][policy] for the requested schemes."""
+    """metrics[workload][policy] for the requested schemes.
+
+    The entire sweep — every workload x policy run plus the stand-alone
+    reference runs — is prefetched as one batch, so with ``jobs > 1``
+    the whole figure simulates in parallel.
+    """
+    runner.prefetch(
+        [
+            spec
+            for name in workloads
+            for policy in policies
+            for spec in runner.workload_metric_specs(name, policy)
+        ]
+    )
     return {
         name: {
             policy: runner.workload_metrics(name, policy)

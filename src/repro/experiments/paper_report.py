@@ -218,20 +218,44 @@ def generate_experiments_md(
     The report file is rewritten incrementally after every experiment,
     so a partially complete run still leaves a usable document.
     """
+    import time
+
     ids = experiment_ids if experiment_ids is not None else list(EXPERIMENTS)
     lines = _header(
         f"scale=1/{runner.scale}, {runner.multi_requests} requests/program "
         f"multiprogram, {runner.single_requests} single, seed={runner.seed}"
     )
     for experiment_id in ids:
+        started = time.perf_counter()
         result = run_experiment(experiment_id, runner)
         if store is not None:
             store.save(result)
+        if runner.verbose:
+            print(
+                f"[{experiment_id} done in "
+                f"{time.perf_counter() - started:.1f}s; "
+                f"{format_run_stats(runner)}]"
+            )
         lines.extend(_section(result))
         Path(output_path).write_text("\n".join(lines))
     text = "\n".join(lines)
     Path(output_path).write_text(text)
     return text
+
+
+def format_run_stats(runner: ExperimentRunner) -> str:
+    """Cache-hit counters + simulation count, for --verbose output.
+
+    A fully warm run reads ``simulations executed: 0`` — the acceptance
+    signal that no re-simulation happened (asserted in CI).
+    """
+    stats = runner.run_stats()
+    return (
+        f"cache: disk hits={stats['disk_hits']} "
+        f"misses={stats['disk_misses']} stores={stats['disk_stores']} "
+        f"memory hits={stats['memory_hits']}; "
+        f"simulations executed: {stats['executed']}"
+    )
 
 
 def render_from_store(

@@ -101,6 +101,41 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
 }
 
 
+class UnknownExperimentError(KeyError):
+    """Raised when one or more requested experiment ids do not exist."""
+
+    def __init__(self, unknown: list[str]) -> None:
+        self.unknown = list(unknown)
+        super().__init__(
+            f"unknown experiment id(s) {', '.join(map(repr, self.unknown))}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        )
+
+
+def validate_experiment_ids(experiment_ids: list[str]) -> None:
+    """Raise :class:`UnknownExperimentError` listing every bad id at once.
+
+    Callers validate a whole request *before* simulating anything, so a
+    typo at the end of an id list cannot waste the runs before it.
+    """
+    unknown = [i for i in experiment_ids if i not in EXPERIMENTS]
+    if unknown:
+        raise UnknownExperimentError(unknown)
+
+
+def resolve_experiment_ids(tokens: list[str]) -> list[str]:
+    """Expand 'all' and deduplicate an id list, validating up front."""
+    ids: list[str] = []
+    for token in tokens:
+        if token == "all":
+            ids.extend(EXPERIMENTS)
+        else:
+            ids.append(token)
+    ids = list(dict.fromkeys(ids))
+    validate_experiment_ids(ids)
+    return ids
+
+
 def run_experiment(
     experiment_id: str, runner: ExperimentRunner
 ) -> ExperimentResult:

@@ -2,14 +2,27 @@
 
 Every figure in Section 5 compares policies on identical workloads; the
 expensive pieces — stand-alone reference runs for slowdown computation,
-and the multiprogram runs themselves — are memoized on a structural key,
-so e.g. Figures 13-15 (ProFess) reuse the PoM runs produced for
-Figures 10-12.
+and the multiprogram runs themselves — are requested as content-addressed
+:class:`~repro.exec.spec.RunSpec` objects and executed through the
+:mod:`repro.exec` subsystem, so e.g. Figures 13-15 (ProFess) reuse the
+PoM runs produced for Figures 10-12.
+
+Two cache layers sit behind every request:
+
+* an in-process memo (object identity preserved within one runner), and
+* an optional disk :class:`~repro.exec.cache.ResultCache` (``cache_dir``)
+  that survives process exit and is shared across CLI runs, benchmark
+  sessions, and CI.
+
+With ``jobs > 1``, batched requests (:meth:`ExperimentRunner.prefetch`,
+used by the figure drivers and by :meth:`workload_metrics`) fan out over
+a process pool with results identical to serial execution.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import replace
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.common.config import (
@@ -18,7 +31,8 @@ from repro.common.config import (
     paper_single_core,
 )
 from repro.cpu.trace import Trace
-from repro.sim.engine import SimulationDriver
+from repro.exec import Executor, ResultCache, RunEvent, RunSpec
+from repro.exec.spec import workload_traces as _workload_traces
 from repro.sim.metrics import WorkloadMetrics
 from repro.sim.results import SimulationResult
 from repro.traces.generator import synthesize_trace
@@ -32,25 +46,8 @@ DEFAULT_MULTI_REQUESTS = 50_000
 DEFAULT_SINGLE_REQUESTS = 60_000
 
 
-@dataclass(frozen=True)
-class _RunKey:
-    """Structural cache key for a simulation run."""
-
-    kind: str
-    programs: tuple[str, ...]
-    policy: str
-    config_token: str
-    requests: int
-    seed: int
-
-
-def _config_token(config: SystemConfig) -> str:
-    """A stable string identifying everything that affects simulation."""
-    return repr(config)
-
-
 class ExperimentRunner:
-    """Builds configs and traces; runs and caches simulations."""
+    """Builds configs and RunSpecs; runs and caches simulations."""
 
     def __init__(
         self,
@@ -60,6 +57,8 @@ class ExperimentRunner:
         seed: int = 0,
         verbose: bool = False,
         sp_reference: Optional[str] = "pom",
+        jobs: int = 1,
+        cache_dir: Optional[str | Path] = None,
     ) -> None:
         self.scale = scale
         self.multi_requests = multi_requests
@@ -73,7 +72,16 @@ class ExperimentRunner:
         #: (+7% multiprogram weighted speedup) are mutually consistent.
         #: Pass None to use each scheme's own stand-alone runs instead.
         self.sp_reference = sp_reference
-        self._cache: dict[_RunKey, SimulationResult] = {}
+        self.jobs = jobs
+        self.cache = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        self.executor = Executor(
+            jobs=jobs, cache=self.cache, on_run=self._on_run
+        )
+        self._memory: dict[str, SimulationResult] = {}
+        #: Batch requests served from the in-process memo.
+        self.memory_hits = 0
 
     # ------------------------------------------------------------------
     # Configurations
@@ -106,52 +114,163 @@ class ExperimentRunner:
         self, programs: Sequence[str], requests: Optional[int] = None
     ) -> list[tuple[str, Trace]]:
         """Traces for a program mix; duplicates get distinct seeds."""
-        seen: dict[str, int] = {}
-        traces = []
-        for program in programs:
-            instance = seen.get(program, 0)
-            seen[program] = instance + 1
-            traces.append(
-                (program, self.trace_for(program, instance, requests))
-            )
-        return traces
+        return _workload_traces(
+            programs, requests or self.multi_requests, self.scale, self.seed
+        )
 
     # ------------------------------------------------------------------
-    # Cached runs
+    # Spec builders
     # ------------------------------------------------------------------
-    def _run(
+    def spec_single(
         self,
-        kind: str,
-        config: SystemConfig,
+        program: str,
         policy: str,
-        programs: Sequence[str],
-        requests: int,
+        config: Optional[SystemConfig] = None,
+        requests: Optional[int] = None,
         track_rsm_regions: bool = False,
-    ) -> SimulationResult:
-        key = _RunKey(
-            kind=kind,
-            programs=tuple(programs),
+    ) -> RunSpec:
+        """Spec for one program on the single-core system (Figures 5-9)."""
+        return RunSpec(
+            kind="single",
+            programs=(program,),
             policy=policy,
-            config_token=_config_token(config),
-            requests=requests,
+            config=config or self.single_config(),
+            requests=requests or self.single_requests,
             seed=self.seed,
-        )
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        driver = SimulationDriver(
-            config,
-            policy,
-            self.workload_traces(programs, requests),
-            seed=self.seed,
+            trace_scale=self.scale,
             track_rsm_regions=track_rsm_regions,
         )
-        result = driver.run()
-        self._cache[key] = result
-        if self.verbose:
-            print(f"  {kind} {'+'.join(programs)}: {result.summary_line()}")
+
+    def spec_alone(
+        self,
+        program: str,
+        policy: str,
+        config: Optional[SystemConfig] = None,
+    ) -> RunSpec:
+        """Spec for a stand-alone reference run on the quad-core system."""
+        return RunSpec(
+            kind="alone",
+            programs=(program,),
+            policy=policy,
+            config=config or self.quad_config(),
+            requests=self.multi_requests,
+            seed=self.seed,
+            trace_scale=self.scale,
+        )
+
+    def spec_workload(
+        self,
+        workload_name: str,
+        policy: str,
+        config: Optional[SystemConfig] = None,
+    ) -> RunSpec:
+        """Spec for one Table 10 workload on the quad-core system."""
+        return self.spec_mix(WORKLOADS[workload_name], policy, config)
+
+    def spec_mix(
+        self,
+        programs: Sequence[str],
+        policy: str,
+        config: Optional[SystemConfig] = None,
+    ) -> RunSpec:
+        """Spec for an arbitrary program mix on the quad-core system."""
+        return RunSpec(
+            kind="multi",
+            programs=tuple(programs),
+            policy=policy,
+            config=config or self.quad_config(),
+            requests=self.multi_requests,
+            seed=self.seed,
+            trace_scale=self.scale,
+        )
+
+    def metric_specs(
+        self,
+        programs: Sequence[str],
+        policy: str,
+        config: Optional[SystemConfig] = None,
+    ) -> list[RunSpec]:
+        """Every spec :meth:`mix_metrics` needs: the mix run plus the
+        stand-alone reference runs Eq. (1) divides by."""
+        config = config or self.quad_config()
+        reference = self.sp_reference or policy
+        specs = [self.spec_mix(programs, policy, config)]
+        specs.extend(
+            self.spec_alone(program, reference, config)
+            for program in dict.fromkeys(programs)
+        )
+        return specs
+
+    def workload_metric_specs(
+        self,
+        workload_name: str,
+        policy: str,
+        config: Optional[SystemConfig] = None,
+    ) -> list[RunSpec]:
+        """Every spec :meth:`workload_metrics` needs for one workload."""
+        return self.metric_specs(WORKLOADS[workload_name], policy, config)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, spec: RunSpec) -> SimulationResult:
+        """Run (or fetch) one spec; repeated requests return the same
+        object within this runner."""
+        key = spec.cache_key()
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.memory_hits += 1
+            return cached
+        result = self.executor.run(spec)
+        self._memory[key] = result
         return result
 
+    def prefetch(self, specs: Sequence[RunSpec]) -> None:
+        """Batch a whole figure's runs into one parallel wave.
+
+        Deduplicates, skips anything already memoized, executes the rest
+        through the executor (process pool when ``jobs > 1``), and
+        memoizes the results so subsequent :meth:`execute` calls are
+        in-process hits.
+        """
+        fresh: dict[str, RunSpec] = {}
+        for spec in specs:
+            key = spec.cache_key()
+            if key not in self._memory:
+                fresh.setdefault(key, spec)
+        if not fresh:
+            return
+        results = self.executor.run_many(list(fresh.values()))
+        for key, result in zip(fresh, results):
+            self._memory[key] = result
+
+    def _on_run(self, event: RunEvent) -> None:
+        if self.verbose:
+            spec = event.spec
+            origin = (
+                "disk cache"
+                if event.source == "cache"
+                else f"{event.source}, {event.elapsed:.1f}s"
+            )
+            print(
+                f"  {spec.kind} {'+'.join(spec.programs)}: "
+                f"{event.result.summary_line()} ({origin})"
+            )
+
+    def run_stats(self) -> dict[str, int]:
+        """Execution counters: simulations run vs cache traffic."""
+        stats = {
+            "executed": self.executor.executed,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.cache.hits if self.cache else 0,
+            "disk_misses": self.cache.misses if self.cache else 0,
+            "disk_stores": self.cache.stores if self.cache else 0,
+        }
+        return stats
+
+    # ------------------------------------------------------------------
+    # Cached runs (thin RunSpec wrappers)
+    # ------------------------------------------------------------------
     def run_single(
         self,
         program: str,
@@ -161,13 +280,10 @@ class ExperimentRunner:
         track_rsm_regions: bool = False,
     ) -> SimulationResult:
         """Run one program on the single-core system (Figures 5-9)."""
-        return self._run(
-            "single",
-            config or self.single_config(),
-            policy,
-            [program],
-            requests or self.single_requests,
-            track_rsm_regions=track_rsm_regions,
+        return self.execute(
+            self.spec_single(
+                program, policy, config, requests, track_rsm_regions
+            )
         )
 
     def run_alone_in_quad(
@@ -177,13 +293,7 @@ class ExperimentRunner:
         config: Optional[SystemConfig] = None,
     ) -> SimulationResult:
         """Stand-alone reference run on the quad-core system (IPC_SP)."""
-        return self._run(
-            "alone",
-            config or self.quad_config(),
-            policy,
-            [program],
-            self.multi_requests,
-        )
+        return self.execute(self.spec_alone(program, policy, config))
 
     def run_workload(
         self,
@@ -192,13 +302,7 @@ class ExperimentRunner:
         config: Optional[SystemConfig] = None,
     ) -> SimulationResult:
         """Run one Table 10 workload on the quad-core system."""
-        return self._run(
-            "multi",
-            config or self.quad_config(),
-            policy,
-            WORKLOADS[workload_name],
-            self.multi_requests,
-        )
+        return self.execute(self.spec_workload(workload_name, policy, config))
 
     def mix_metrics(
         self,
@@ -208,7 +312,9 @@ class ExperimentRunner:
     ) -> WorkloadMetrics:
         """Metrics for an arbitrary program mix (not from Table 10)."""
         config = config or self.quad_config()
-        multi = self._run("multi", config, policy, programs, self.multi_requests)
+        specs = self.metric_specs(programs, policy, config)
+        self.prefetch(specs)
+        multi = self.execute(specs[0])
         reference = self.sp_reference or policy
         single_ipcs = [
             self.run_alone_in_quad(p.name, reference, config).program(0).ipc
@@ -230,11 +336,4 @@ class ExperimentRunner:
         the constructor docstring), or under ``policy`` itself when
         ``sp_reference`` is None.
         """
-        config = config or self.quad_config()
-        multi = self.run_workload(workload_name, policy, config)
-        reference = self.sp_reference or policy
-        single_ipcs = [
-            self.run_alone_in_quad(p.name, reference, config).program(0).ipc
-            for p in multi.programs
-        ]
-        return WorkloadMetrics.from_results(multi, single_ipcs)
+        return self.mix_metrics(WORKLOADS[workload_name], policy, config)

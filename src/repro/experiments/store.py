@@ -11,22 +11,13 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Optional
 
+from repro.common.serialize import jsonable
 from repro.experiments.base import ExperimentResult
-
-
-def _jsonable(value):
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    return str(value)
 
 
 def save_result(result: ExperimentResult, path: str | Path) -> None:
     """Write one experiment result as JSON."""
-    payload = _jsonable(asdict(result))
+    payload = jsonable(asdict(result))
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
 

@@ -21,7 +21,7 @@ from repro.hybrid.memory import HybridMemoryController
 from repro.hybrid.regions import PageTable
 from repro.policies import make_policy
 from repro.policies.base import MigrationPolicy
-from repro.sim.results import ProgramResult, SimulationResult
+from repro.sim.results import PolicyStats, ProgramResult, SimulationResult
 from repro.traces.generator import LINES_PER_PAGE
 
 #: Hard ceiling on processed events, to catch runaway simulations.
@@ -215,8 +215,6 @@ class SimulationDriver:
             energy_efficiency=controller.energy.efficiency_requests_per_joule(
                 cycles
             ),
-            extra={
-                "rsm_history": controller.rsm.history,
-                "policy_object": self.policy,
-            },
+            policy_stats=PolicyStats.from_policy(self.policy),
+            extra={"rsm_history": controller.rsm.history},
         )

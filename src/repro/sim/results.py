@@ -1,8 +1,17 @@
-"""Result containers produced by the simulation driver."""
+"""Result containers produced by the simulation driver.
+
+Everything here is plain data: fully picklable (results cross process
+boundaries under the parallel executor) and JSON round-trippable via
+:meth:`SimulationResult.to_dict` / :meth:`SimulationResult.from_dict`
+(results persist across CLI invocations in the disk cache).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.common.serialize import jsonable
 
 
 @dataclass(frozen=True)
@@ -20,6 +29,37 @@ class ProgramResult:
 
 
 @dataclass(frozen=True)
+class PolicyStats:
+    """Serializable summary of a migration policy's decision counters.
+
+    Replaces the live policy object that results used to carry: the same
+    introspection (how often each Table 7 guidance case fired, how many
+    M2-access decisions ended in promotion) without holding simulator
+    state that can neither be pickled across a process pool nor written
+    to JSON.  ``case_counts`` keys are strings ("1", "2", "3",
+    "default", "same") so the mapping survives JSON round-trips.
+    """
+
+    name: str
+    decisions: int = 0
+    promotions: int = 0
+    case_counts: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_policy(cls, policy) -> "PolicyStats":
+        """Snapshot the introspectable counters of a policy object."""
+        return cls(
+            name=policy.name,
+            decisions=int(getattr(policy, "decisions", 0)),
+            promotions=int(getattr(policy, "promotions", 0)),
+            case_counts={
+                str(case): int(count)
+                for case, count in getattr(policy, "case_counts", {}).items()
+            },
+        )
+
+
+@dataclass(frozen=True)
 class SimulationResult:
     """Everything one simulation run reports."""
 
@@ -34,6 +74,8 @@ class SimulationResult:
     energy_joules: float
     #: Requests per second per watt (== requests per joule), Figures 12/15.
     energy_efficiency: float
+    #: Decision-counter summary of the policy that produced this run.
+    policy_stats: Optional[PolicyStats] = None
     #: Free-form extras (per-experiment diagnostics).
     extra: dict = field(default_factory=dict)
 
@@ -52,4 +94,63 @@ class SimulationResult:
         return (
             f"[{self.policy}] cycles={self.cycles} swaps={self.total_swaps} "
             f"stc_hit={self.stc_hit_rate:.2%} ipc: {ipcs}"
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (disk cache, result archives)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-compatible dict that :meth:`from_dict` inverts."""
+        extra = {}
+        for key, value in self.extra.items():
+            if key == "rsm_history":
+                extra[key] = [asdict(sample) for sample in value]
+            else:
+                extra[key] = jsonable(value)
+        return {
+            "policy": self.policy,
+            "cycles": self.cycles,
+            "programs": [asdict(p) for p in self.programs],
+            "total_requests": self.total_requests,
+            "total_swaps": self.total_swaps,
+            "swap_fraction": self.swap_fraction,
+            "average_read_latency": self.average_read_latency,
+            "stc_hit_rate": self.stc_hit_rate,
+            "energy_joules": self.energy_joules,
+            "energy_efficiency": self.energy_efficiency,
+            "policy_stats": (
+                asdict(self.policy_stats)
+                if self.policy_stats is not None
+                else None
+            ),
+            "extra": extra,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result written by :meth:`to_dict`."""
+        from repro.core.rsm import RSMSample
+
+        extra = {}
+        for key, value in payload.get("extra", {}).items():
+            if key == "rsm_history":
+                extra[key] = [RSMSample(**sample) for sample in value]
+            else:
+                extra[key] = value
+        stats = payload.get("policy_stats")
+        return cls(
+            policy=payload["policy"],
+            cycles=payload["cycles"],
+            programs=tuple(
+                ProgramResult(**p) for p in payload["programs"]
+            ),
+            total_requests=payload["total_requests"],
+            total_swaps=payload["total_swaps"],
+            swap_fraction=payload["swap_fraction"],
+            average_read_latency=payload["average_read_latency"],
+            stc_hit_rate=payload["stc_hit_rate"],
+            energy_joules=payload["energy_joules"],
+            energy_efficiency=payload["energy_efficiency"],
+            policy_stats=PolicyStats(**stats) if stats else None,
+            extra=extra,
         )

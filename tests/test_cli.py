@@ -12,9 +12,11 @@ class TestParser:
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "fig5"])
-        assert args.experiment == "fig5"
+        assert args.experiment == ["fig5"]
         assert args.scale == 64
         assert args.seed == 0
+        assert args.jobs == 1
+        assert args.cache_dir is None
 
     def test_run_overrides(self):
         args = build_parser().parse_args(
@@ -22,6 +24,33 @@ class TestParser:
         )
         assert args.scale == 128
         assert args.requests == 1000
+
+    def test_run_accepts_id_list(self):
+        args = build_parser().parse_args(["run", "fig5", "fig7", "table1"])
+        assert args.experiment == ["fig5", "fig7", "table1"]
+
+    def test_execution_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig5", "--jobs", "4", "--cache-dir", "c"]
+        )
+        assert args.jobs == 4
+        assert str(args.cache_dir) == "c"
+
+    def test_rejects_nonpositive_jobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "fig5", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_rejects_cache_dir_that_is_a_file(self, tmp_path, capsys):
+        blocker = tmp_path / "notadir"
+        blocker.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["run", "fig5", "--cache-dir", str(blocker)]
+            )
+        assert excinfo.value.code == 2
+        assert "not a directory" in capsys.readouterr().err
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -41,6 +70,32 @@ class TestMain:
              "--single-requests", "500"]
         )
         assert code == 2
+
+    def test_unknown_id_in_list_aborts_before_running(self, tmp_path, capsys):
+        # table1 is valid and cheap, but the bad trailing id must abort
+        # the whole request up front: exit 2, nothing simulated/written.
+        code = main(
+            ["run", "table1", "fig99", "--scale", "128", "--requests", "500",
+             "--single-requests", "500", "--out", str(tmp_path)]
+        )
+        assert code == 2
+        assert not list(tmp_path.iterdir())
+        assert "fig99" in capsys.readouterr().err
+
+    def test_verbose_surfaces_cache_counters(self, tmp_path, capsys):
+        argv = [
+            "run", "fig7", "--scale", "128", "--requests", "500",
+            "--single-requests", "500", "--verbose",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "simulations executed:" in cold
+        assert "simulations executed: 0" not in cold
+        # Second invocation: everything served from the disk cache.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "simulations executed: 0" in warm
 
     def test_run_writes_report(self, tmp_path, capsys):
         code = main(

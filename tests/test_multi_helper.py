@@ -13,6 +13,14 @@ class StubRunner:
         # values[workload][policy] -> (unfairness, weighted_speedup)
         self.values = values
         self.calls = 0
+        self.prefetched = 0
+
+    def workload_metric_specs(self, name, policy, config=None):
+        # Canned metrics need no simulations, hence no specs to batch.
+        return []
+
+    def prefetch(self, specs):
+        self.prefetched += len(specs)
 
     def workload_metrics(self, name, policy, config=None):
         self.calls += 1
