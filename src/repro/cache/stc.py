@@ -17,18 +17,22 @@ from typing import Callable, Optional
 from repro.cache.sets import SetAssociativeCache
 
 
-@dataclass
+@dataclass(slots=True)
 class STCEntry:
     """Accurate per-block state kept only while the ST entry is cached.
 
     ``qac_at_insert`` snapshots each location's QAC value (q_I) when the
     entry was inserted; ``counters`` are the 6-bit saturating access
     counts accumulated since insertion, indexed by swap-group location.
+    ``st_entry`` is an opaque back-reference the memory controller
+    attaches at insertion (the group's resident ST entry), so the
+    per-request path resolves both structures with one cache probe.
     """
 
     group: int
     qac_at_insert: tuple[int, ...]
     counters: list[int] = field(default_factory=list)
+    st_entry: object = None
 
     def __post_init__(self) -> None:
         if not self.counters:
@@ -71,6 +75,11 @@ class STC:
         self._group_size = group_size
         self._counter_max = counter_max
         self._eviction_callbacks: list[EvictionCallback] = []
+        # Per-request hot calls: shadow the pure-delegation methods below
+        # with the array's own bound methods so a lookup costs one frame,
+        # not two.  Signatures and semantics are identical.
+        self.lookup = self._array.lookup  # type: ignore[method-assign]
+        self.peek = self._array.peek  # type: ignore[method-assign]
 
     def on_eviction(self, callback: EvictionCallback) -> None:
         """Register a callback invoked with every evicted entry."""
@@ -99,15 +108,23 @@ class STC:
         """Non-touching, stat-free lookup (used by policies)."""
         return self._array.peek(group)
 
-    def insert(self, group: int, qac_values: tuple[int, ...]) -> Optional[STCEntry]:
+    def insert(
+        self,
+        group: int,
+        qac_values: tuple[int, ...],
+        st_entry: object = None,
+    ) -> Optional[STCEntry]:
         """Insert a freshly fetched ST entry; returns the evicted entry.
 
         ``qac_values`` is the QAC field of the ST entry at fetch time; the
         per-location access counters start at zero (Section 3.2.1).
+        ``st_entry`` is stored as the new entry's back-reference.
         Eviction callbacks run before this method returns, so MDM statistics
         and ST write-back happen at the architecturally correct instant.
         """
-        entry = STCEntry(group=group, qac_at_insert=tuple(qac_values))
+        entry = STCEntry(
+            group=group, qac_at_insert=tuple(qac_values), st_entry=st_entry
+        )
         victim = self._array.insert(group, entry)
         if victim is None:
             return None

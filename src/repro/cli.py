@@ -101,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None, help="directory for .txt reports"
     )
     run_parser.add_argument("--verbose", action="store_true")
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions "
+        "(profiles the driving process; use --jobs 1)",
+    )
     _add_execution_flags(run_parser)
 
     report_parser = subparsers.add_parser(
@@ -144,6 +150,51 @@ def build_parser() -> argparse.ArgumentParser:
     char_parser.add_argument("--requests", type=int, default=50_000)
     char_parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
     char_parser.add_argument("--seed", type=int, default=0)
+
+    perf_parser = subparsers.add_parser(
+        "perf",
+        help="run the standard kernel benchmark (events/sec)",
+        description="Measure simulation-kernel throughput on two fixed "
+        "scenarios and write BENCH_kernel.json.  With --baseline, exits "
+        "non-zero when events/sec regresses below --min-ratio times the "
+        "recorded rates (the CI perf-smoke gate).",
+    )
+    perf_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter traces (CI-sized; compare only against a quick baseline)",
+    )
+    perf_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="repeats per scenario; the best repeat is reported",
+    )
+    perf_parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_kernel.json"),
+        help="where to write the benchmark payload",
+    )
+    perf_parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline BENCH_kernel.json to compare against",
+    )
+    perf_parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.7,
+        help="fail when events/sec drops below this fraction of baseline",
+    )
+    perf_parser.add_argument(
+        "--components",
+        action="store_true",
+        help="also run each scenario once with per-component timing "
+        "(instrumented event loop; slower) and print the breakdown",
+    )
+    perf_parser.add_argument("--verbose", action="store_true")
     return parser
 
 
@@ -174,6 +225,12 @@ def _run(args: argparse.Namespace) -> int:
         )
         return 2
     runner = _make_runner(args)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     for experiment_id in ids:
         started = time.time()
         result = run_experiment(experiment_id, runner)
@@ -184,6 +241,12 @@ def _run(args: argparse.Namespace) -> int:
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{experiment_id}.txt").write_text(report + "\n")
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
     if args.verbose:
         print(format_run_stats(runner))
     return 0
@@ -250,6 +313,52 @@ def _characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _perf(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.bench import (
+        compare_to_baseline,
+        run_kernel_benchmark,
+        standard_scenarios,
+        write_bench_json,
+    )
+    from repro.perf.profile import KernelProfile
+
+    progress = print if args.verbose else None
+    payload = run_kernel_benchmark(
+        quick=args.quick, repeats=args.repeats, progress=progress
+    )
+    for scenario in payload["scenarios"]:
+        print(
+            f"{scenario['name']:<8}"
+            f"{scenario['events']:>10,} events  "
+            f"{scenario['events_per_sec']:>11,.0f} events/sec  "
+            f"{scenario['requests_per_sec']:>10,.0f} requests/sec"
+        )
+    write_bench_json(payload, args.out)
+    print(f"wrote {args.out}")
+
+    if args.components:
+        for scenario in standard_scenarios(quick=args.quick):
+            profile = KernelProfile(component_timing=True)
+            scenario.build_driver(profile).run()
+            print(f"\n{scenario.name}: time per component (instrumented)")
+            for label, calls, seconds in profile.component_table()[:12]:
+                print(f"  {label:<40} {calls:>9,} calls  {seconds:>8.3f}s")
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        failures = compare_to_baseline(
+            payload, baseline, min_ratio=args.min_ratio
+        )
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"within {args.min_ratio:.2f}x of baseline {args.baseline}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -264,6 +373,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace(args)
     if args.command == "characterize":
         return _characterize(args)
+    if args.command == "perf":
+        return _perf(args)
     return _run(args)
 
 

@@ -3,12 +3,27 @@
 Every component (cores, channels, the hybrid-memory controller) shares one
 :class:`EventQueue`.  Time is integer CPU cycles; events scheduled for the
 same cycle fire in insertion order, which keeps runs fully deterministic.
+
+Two representations back the queue:
+
+* a min-heap of ``(cycle, sequence, callback)`` for events in the future,
+* a plain FIFO *fast lane* for events scheduled at the current cycle
+  (zero-delay hops: posted-write acceptance, controller kicks, same-cycle
+  continuations), which skip the heap entirely.
+
+The split preserves the global firing order exactly.  Heap events at
+cycle ``c`` are necessarily scheduled while ``now < c`` (a same-cycle
+schedule goes to the FIFO instead), so every heap event at ``c`` precedes
+every FIFO event created during ``c`` in insertion order; draining the
+FIFO only once the heap's head has moved past ``now`` therefore yields
+the same sequence as a single ``(cycle, sequence)`` heap.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from collections import deque
+from typing import Callable, Optional
 
 from repro.common.errors import SimulationError
 
@@ -16,12 +31,20 @@ Callback = Callable[[int], None]
 
 
 class EventQueue:
-    """A min-heap of (cycle, sequence, callback) events."""
+    """A min-heap of (cycle, sequence, callback) events with a same-cycle
+    FIFO fast lane."""
+
+    __slots__ = ("_heap", "_fifo", "_seq", "_now", "schedule_now")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Callback]] = []
+        self._fifo: deque[Callback] = deque()
         self._seq = 0
         self._now = 0
+        #: Fast lane for ``schedule(self.now, cb)``: appends straight to
+        #: the same-cycle FIFO with no Python frame.  Hot producers (the
+        #: channel kick, posted-write acceptance) bind this once.
+        self.schedule_now: Callable[[Callback], None] = self._fifo.append
 
     @property
     def now(self) -> int:
@@ -29,16 +52,20 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._fifo)
 
     def schedule(self, cycle: int, callback: Callback) -> None:
         """Schedule ``callback(cycle)`` to run at ``cycle`` (>= now)."""
-        if cycle < self._now:
+        now = self._now
+        if cycle == now:
+            self._fifo.append(callback)
+        elif cycle > now:
+            heapq.heappush(self._heap, (cycle, self._seq, callback))
+            self._seq += 1
+        else:
             raise SimulationError(
-                f"cannot schedule event at {cycle} before now={self._now}"
+                f"cannot schedule event at {cycle} before now={now}"
             )
-        heapq.heappush(self._heap, (cycle, self._seq, callback))
-        self._seq += 1
 
     def schedule_after(self, delay: int, callback: Callback) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
@@ -46,19 +73,136 @@ class EventQueue:
 
     def step(self) -> bool:
         """Run the earliest event.  Returns False when the queue is empty."""
-        if not self._heap:
+        heap = self._heap
+        fifo = self._fifo
+        if fifo and (not heap or heap[0][0] > self._now):
+            fifo.popleft()(self._now)
+            return True
+        if not heap:
             return False
-        cycle, _, callback = heapq.heappop(self._heap)
+        cycle, _, callback = heapq.heappop(heap)
         self._now = cycle
         callback(cycle)
         return True
 
-    def run(self, max_events: int | None = None) -> int:
-        """Drain the queue (optionally bounded); returns events processed."""
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        stop_after_cycle: Optional[int] = None,
+    ) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        ``max_events`` is a runaway guard, not a pause button: if the
+        ceiling is reached while events remain, a :class:`SimulationError`
+        is raised (a silently truncated run is indistinguishable from a
+        completed one, which is how hangs used to masquerade as results).
+        ``stop_after_cycle`` returns control after the first event whose
+        cycle exceeds it has been processed (the simulation driver's
+        ``max_cycles`` cutoff semantics); remaining events stay queued.
+        """
+        # Local bindings: the loop below is the hottest few lines of the
+        # whole simulator, so every global/attribute lookup it avoids is
+        # paid back millions of times.
+        heap = self._heap
+        fifo = self._fifo
+        heappop = heapq.heappop
+        popleft = fifo.popleft
+        now = self._now
         processed = 0
-        while self._heap:
-            if max_events is not None and processed >= max_events:
-                break
-            self.step()
+
+        if max_events is None and stop_after_cycle is None:
+            while heap or fifo:
+                if fifo and (not heap or heap[0][0] > now):
+                    popleft()(now)
+                else:
+                    entry = heappop(heap)
+                    self._now = now = entry[0]
+                    entry[2](now)
+                processed += 1
+            return processed
+
+        limit = max_events if max_events is not None else -1
+
+        if stop_after_cycle is None:
+            # Budget-guarded production loop (the driver always sets
+            # ``max_events``): one extra integer compare per event.
+            while heap or fifo:
+                if processed == limit:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted; likely a hang"
+                    )
+                if fifo and (not heap or heap[0][0] > now):
+                    popleft()(now)
+                else:
+                    entry = heappop(heap)
+                    self._now = now = entry[0]
+                    entry[2](now)
+                processed += 1
+            return processed
+
+        while heap or fifo:
+            if processed == limit:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted; likely a hang"
+                )
+            if fifo and (not heap or heap[0][0] > now):
+                popleft()(now)
+            else:
+                entry = heappop(heap)
+                self._now = now = entry[0]
+                entry[2](now)
             processed += 1
+            if now > stop_after_cycle:
+                break
         return processed
+
+    def run_profiled(
+        self,
+        buckets: dict[str, list],
+        max_events: Optional[int] = None,
+        stop_after_cycle: Optional[int] = None,
+    ) -> int:
+        """Like :meth:`run`, but times every callback into ``buckets``.
+
+        ``buckets`` maps a component label (the callback's qualified name)
+        to a ``[calls, seconds]`` accumulator.  This loop is deliberately
+        separate from :meth:`run` so profiling costs nothing when off.
+        """
+        from time import perf_counter
+
+        processed = 0
+        while self._heap or self._fifo:
+            if max_events is not None and processed == max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted; likely a hang"
+                )
+            heap = self._heap
+            fifo = self._fifo
+            if fifo and (not heap or heap[0][0] > self._now):
+                callback = fifo.popleft()
+            else:
+                cycle, _, callback = heapq.heappop(heap)
+                self._now = cycle
+            label = _callback_label(callback)
+            started = perf_counter()
+            callback(self._now)
+            elapsed = perf_counter() - started
+            bucket = buckets.get(label)
+            if bucket is None:
+                buckets[label] = [1, elapsed]
+            else:
+                bucket[0] += 1
+                bucket[1] += elapsed
+            processed += 1
+            if stop_after_cycle is not None and self._now > stop_after_cycle:
+                break
+        return processed
+
+
+def _callback_label(callback: Callback) -> str:
+    """Component label for one event callback (profiling bucket key)."""
+    func = getattr(callback, "func", callback)  # unwrap functools.partial
+    qualname = getattr(func, "__qualname__", None)
+    if qualname is not None:
+        return qualname
+    return type(callback).__name__

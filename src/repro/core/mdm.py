@@ -77,7 +77,7 @@ class MDMPolicy(MigrationPolicy):
 
     # ------------------------------------------------------------------
     def on_access(self, ctx: AccessContext) -> Optional[int]:
-        if ctx.in_m1:
+        if ctx.location == 0:  # ctx.in_m1, sans the property call
             return None
         self.decisions += 1
         if self._decide_m2(ctx, m1_vacant=ctx.m1_owner is None):

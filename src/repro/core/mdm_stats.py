@@ -39,6 +39,22 @@ class Phase(Enum):
 class MDMProgramStats:
     """One program's transition statistics and expected-count registers."""
 
+    __slots__ = (
+        "_config",
+        "num_qi",
+        "num_qe",
+        "accum_cnt",
+        "num_q_sum_i",
+        "num_q",
+        "num_q_sum_e",
+        "exp_cnt",
+        "phase",
+        "_updates_in_phase",
+        "_updates_since_recompute",
+        "total_updates",
+        "recomputations",
+    )
+
     def __init__(self, config: MDMConfig) -> None:
         self._config = config
         num_qi = config.num_qac_values  # 4: q_I in {0, 1, 2, 3}

@@ -35,7 +35,7 @@ class ProFessPolicy(MDMPolicy):
         self.case_counts = {1: 0, 2: 0, 3: 0, "default": 0, "same": 0}
 
     def on_access(self, ctx: AccessContext) -> Optional[int]:
-        if ctx.in_m1:
+        if ctx.location == 0:  # ctx.in_m1, sans the property call
             return None
         self.decisions += 1
         if self._decide_guided(ctx):

@@ -29,7 +29,7 @@ from repro.common.smoothing import ExponentialSmoother
 from repro.common.stats import stddev
 
 
-@dataclass
+@dataclass(slots=True)
 class RSMCounters:
     """The per-program counter set of Table 3 (one sampling period)."""
 
@@ -101,6 +101,7 @@ class RSM:
         track_regions: bool = False,
     ) -> None:
         self._config = config
+        self._m_samp = config.m_samp
         self.num_programs = num_programs
         self.num_regions = num_regions
         self.counters = [RSMCounters() for _ in range(num_programs)]
@@ -150,8 +151,9 @@ class RSM:
                 counters.num_req_m1_s += 1
         if self._region_counts is not None:
             self._region_counts[program][region] += 1
-        self._served[program] += 1
-        if self._served[program] >= self._config.m_samp:
+        served = self._served[program] + 1
+        self._served[program] = served
+        if served >= self._m_samp:
             self._sample(program)
 
     def on_swap(

@@ -57,14 +57,33 @@ class TraceCore:
         self.finished_at: Optional[int] = None
         self._waiting_for_read = False
         self._waiting_for_write = False
-        self._gaps = trace.gaps
-        self._lines = trace.lines
-        self._writes = trace.writes
+        # Plain Python lists: per-element numpy scalar extraction is an
+        # order of magnitude slower than list indexing on this path.
+        self._gaps = [int(gap) for gap in trace.gaps]
+        self._lines = [int(line) for line in trace.lines]
+        self._writes = [bool(write) for write in trace.writes]
+        self._length = len(self._gaps)
+        # Gap -> compute-cycle conversion hoisted out of the issue loop:
+        # the trace and issue_ipc are fixed, so the ceil-divide per
+        # instruction gap is a table lookup at run time.
+        ipc = config.issue_ipc
+        self._compute_cycles = [
+            math.ceil(gap / ipc) if gap > 0 else 0 for gap in self._gaps
+        ]
+        self._mlp = config.mlp
+        self._write_buffer = config.write_buffer
+        self._schedule = events.schedule
+        # Pre-bound callbacks: one bound-method object reused for every
+        # event instead of a fresh binding per schedule call.
+        self._issue_next_cb = self._issue_next
+        self._dispatch_cb = self._dispatch
+        self._on_read_complete_cb = self._on_read_complete
+        self._on_write_complete_cb = self._on_write_complete
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Schedule the first instruction at cycle 0."""
-        self.events.schedule(self.events.now, self._issue_next)
+        self.events.schedule(self.events.now, self._issue_next_cb)
 
     def stop(self) -> None:
         """Cease issuing after in-flight work completes."""
@@ -81,7 +100,7 @@ class TraceCore:
         if self.stopped:
             self._finish(now)
             return
-        if self.index >= len(self.trace):
+        if self.index >= self._length:
             self.passes_completed += 1
             replay = False
             if self.on_pass_complete is not None:
@@ -90,37 +109,33 @@ class TraceCore:
                 self._finish(now)
                 return
             self.index = 0
-        gap = int(self._gaps[self.index])
-        compute_cycles = (
-            math.ceil(gap / self.config.issue_ipc) if gap > 0 else 0
-        )
+        compute_cycles = self._compute_cycles[self.index]
         if compute_cycles > 0:
-            self.events.schedule(now + compute_cycles, self._dispatch)
-        else:
-            self._dispatch(now)
+            self._schedule(now + compute_cycles, self._dispatch_cb)
+            return
+        self._dispatch(now)
 
     def _dispatch(self, now: int) -> None:
         if self.stopped:
             self._finish(now)
             return
-        is_write = bool(self._writes[self.index])
+        index = self.index
+        is_write = self._writes[index]
         if is_write:
-            if self.writes_in_flight >= self.config.write_buffer:
+            if self.writes_in_flight >= self._write_buffer:
                 self._waiting_for_write = True
                 return  # resumed by _on_write_complete
             self.writes_in_flight += 1
-            callback = self._on_write_complete
+            callback = self._on_write_complete_cb
         else:
-            if self.outstanding_reads >= self.config.mlp:
+            if self.outstanding_reads >= self._mlp:
                 self._waiting_for_read = True
                 return  # resumed by _on_read_complete
             self.outstanding_reads += 1
-            callback = self._on_read_complete
-        line = int(self._lines[self.index])
-        gap = int(self._gaps[self.index])
-        self.instructions_retired += gap + 1
-        self.index += 1
-        self.access(self.core_id, line, is_write, callback)
+            callback = self._on_read_complete_cb
+        self.instructions_retired += self._gaps[index] + 1
+        self.index = index + 1
+        self.access(self.core_id, self._lines[index], is_write, callback)
         self._issue_next(now)
 
     def _on_read_complete(self, now: int) -> None:

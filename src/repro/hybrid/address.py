@@ -12,6 +12,14 @@ the full M1+M2 capacity.  With G total swap groups and group size S = 9:
 Channels interleave at swap-group granularity (``channel = g mod C``), and
 regions follow Figure 3's pattern: group pair (2k, 2k+1) belongs to region
 ``k mod num_regions``.
+
+Every quantity here is a pure function of the configuration, so the
+per-request work is precomputed where it pays: power-of-two divisors
+become masks and shifts at construction time, and the two device-address
+translations (data blocks and ST entries) are memoized — the simulator
+asks for the same handful of ``BlockLocation`` objects millions of times,
+and rebuilding two frozen dataclasses per request was one of the kernel's
+largest allocation sinks.
 """
 
 from __future__ import annotations
@@ -29,6 +37,13 @@ class BlockLocation:
 
     channel: int
     address: DeviceAddress
+
+
+def _mask_and_shift(value: int) -> tuple[int, int] | None:
+    """(mask, shift) when ``value`` is a power of two, else None."""
+    if value >= 1 and value & (value - 1) == 0:
+        return value - 1, value.bit_length() - 1
+    return None
 
 
 class AddressMap:
@@ -51,15 +66,55 @@ class AddressMap:
         self.st_lines_per_row = hybrid.row_buffer_size // hybrid.line_size
         if self.total_groups % self.num_channels:
             raise ConfigError("total groups must divide evenly over channels")
+        # Power-of-two fast paths (always taken for the paper geometry:
+        # every divisor below is a power of two there).
+        self._groups_ms = _mask_and_shift(self.total_groups)
+        self._lines_ms = _mask_and_shift(self.lines_per_block)
+        self._regions_mask = (
+            self.num_regions - 1
+            if _mask_and_shift(self.num_regions) is not None
+            else None
+        )
+        # Memoized device-address translations, keyed by
+        # group * group_size + location (data) and group (ST).
+        self._data_locations: dict[int, BlockLocation] = {}
+        self._st_locations: dict[int, BlockLocation] = {}
 
     # -- block/group arithmetic -----------------------------------------
     def group_of_block(self, block: int) -> int:
         """Swap group of an original block address."""
+        ms = self._groups_ms
+        if ms is not None:
+            return block & ms[0]
         return block % self.total_groups
 
     def slot_of_block(self, block: int) -> int:
         """Home slot (0..group_size-1) of an original block address."""
+        ms = self._groups_ms
+        if ms is not None:
+            return block >> ms[1]
         return block // self.total_groups
+
+    def group_and_slot_of_line(self, line: int) -> tuple[int, int, int]:
+        """(block, group, slot) of an original 64-B line address.
+
+        The controller's per-request translation, fused into one call so
+        the hot path performs two shifts and a mask instead of three
+        method calls with a division each.
+        """
+        lines_ms = self._lines_ms
+        if lines_ms is not None:
+            block = line >> lines_ms[1]
+        else:
+            block = line // self.lines_per_block
+        groups_ms = self._groups_ms
+        if groups_ms is not None:
+            return block, block & groups_ms[0], block >> groups_ms[1]
+        return (
+            block,
+            block % self.total_groups,
+            block // self.total_groups,
+        )
 
     def block_of(self, group: int, slot: int) -> int:
         """Original block address for (group, slot)."""
@@ -76,6 +131,9 @@ class AddressMap:
     # -- regions and pages (Figure 3) ------------------------------------
     def region_of_group(self, group: int) -> int:
         """Interleaved region of a swap group: pair (2k, 2k+1) -> k mod R."""
+        mask = self._regions_mask
+        if mask is not None:
+            return (group >> 1) & mask
         return (group >> 1) % self.num_regions
 
     def page_of_block(self, block: int) -> int:
@@ -102,6 +160,10 @@ class AddressMap:
         blocks.  Consecutive blocks within a module share rows
         (``blocks_per_row`` per row) and rows interleave across banks.
         """
+        key = group * self.group_size + location
+        cached = self._data_locations.get(key)
+        if cached is not None:
+            return cached
         channel = self.channel_of_group(group)
         local = self.channel_group_index(group)
         if location == 0:
@@ -113,7 +175,9 @@ class AddressMap:
         row_global = block_index // self.blocks_per_row
         bank = row_global % self.banks
         row = row_global // self.banks
-        return BlockLocation(channel, DeviceAddress(module, bank, row))
+        result = BlockLocation(channel, DeviceAddress(module, bank, row))
+        self._data_locations[key] = result
+        return result
 
     def st_location(self, group: int) -> BlockLocation:
         """Device address of a group's ST entry (stored in M1, Sec. 2.2).
@@ -121,10 +185,15 @@ class AddressMap:
         ST rows use a disjoint negative row namespace so table traffic
         contends for M1 banks without aliasing data rows.
         """
+        cached = self._st_locations.get(group)
+        if cached is not None:
+            return cached
         channel = self.channel_of_group(group)
         local = self.channel_group_index(group)
         line = local // self.st_entries_per_line
         row_global = line // self.st_lines_per_row
         bank = row_global % self.banks
         row = -1 - (row_global // self.banks)
-        return BlockLocation(channel, DeviceAddress(Module.M1, bank, row))
+        result = BlockLocation(channel, DeviceAddress(Module.M1, bank, row))
+        self._st_locations[group] = result
+        return result

@@ -16,6 +16,7 @@ organization, which is the paper's comparison methodology (Section 2.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Optional
 
 import numpy as np
@@ -132,14 +133,55 @@ class HybridMemoryController:
         self._pending_fetches: dict[int, _PendingFetch] = {}
         self._swap_pending: set[int] = set()
         policy.bind(self)
+        # Hot-path constants, resolved once.  ``access_weight`` depends
+        # only on the request direction (the policy's write weight is
+        # fixed at construction), so both values are precomputed.
+        self._stc_latency = config.stc.latency_cycles
+        self._access_weights = (
+            policy.access_weight(False),
+            policy.access_weight(True),
+        )
+        self._counter_max = config.mdm.access_counter_max
+        self._total_groups = self.address_map.total_groups
+        # Bound methods and stable collaborator references, resolved once
+        # so ``access``/``_serve`` pay no repeated attribute chains on the
+        # per-request path.
+        self._stc_lookup = self.stc.lookup
+        self._stc_peek = self.stc.peek
+        self._group_and_slot_of_line = self.address_map.group_and_slot_of_line
+        self._region_of_group = self.address_map.region_of_group
+        self._data_location = self.address_map.data_location
+        self._frame_owners = self.allocator.frame_owners
+        self._private_region = self.region_map.private_region
+        self._rsm_on_request = self.rsm.on_request
+        self._policy_on_access = policy.on_access
+        # One reusable AccessContext, mutated per request.  Safe because
+        # the policy contract (see AccessContext) forbids retaining the
+        # context beyond ``on_access``; reusing the instance removes the
+        # second-largest allocation on the request path.
+        self._ctx = AccessContext(
+            core_id=0,
+            group=0,
+            slot=0,
+            location=0,
+            is_write=False,
+            owner=None,
+            m1_owner=None,
+            st_entry=None,  # type: ignore[arg-type]
+            stc_entry=None,  # type: ignore[arg-type]
+            now=0,
+        )
 
     # ------------------------------------------------------------------
     # Public helpers used by policies and monitors
     # ------------------------------------------------------------------
     def owner_of_slot(self, group: int, slot: int) -> Optional[int]:
-        """Program owning the block with original home (group, slot)."""
-        block = self.address_map.block_of(group, slot)
-        return self.allocator.owner_of_block(block)
+        """Program owning the block with original home (group, slot).
+
+        Inlines ``allocator.owner_of_block(address_map.block_of(...))``:
+        the MDM eviction sweep asks this for every touched slot.
+        """
+        return self._frame_owners.get((slot * self._total_groups + group) >> 1)
 
     @property
     def lines_per_block(self) -> int:
@@ -157,17 +199,13 @@ class HybridMemoryController:
         on_complete: Optional[CompletionCallback] = None,
     ) -> None:
         """Serve one 64-B demand request at an original physical ``line``."""
-        block = line // self.lines_per_block
-        group = self.address_map.group_of_block(block)
-        slot = self.address_map.slot_of_block(block)
-        now = self.events.now
-        start = now + self.config.stc.latency_cycles
-
-        def proceed(cycle: int) -> None:
-            self._serve(core_id, group, slot, is_write, on_complete, cycle)
-
-        if self.stc.lookup(group) is not None:
-            self.events.schedule(start, proceed)
+        _block, group, slot = self._group_and_slot_of_line(line)
+        events = self.events
+        # One reusable bound method under a partial instead of a fresh
+        # closure per request: same callback shape, far less allocation.
+        proceed = partial(self._serve, core_id, group, slot, is_write, on_complete)
+        if self._stc_lookup(group) is not None:
+            events.schedule(events.now + self._stc_latency, proceed)
         else:
             self._fetch_st_entry(core_id, group, proceed)
 
@@ -182,23 +220,23 @@ class HybridMemoryController:
         pending = _PendingFetch(continuations=[continuation])
         self._pending_fetches[group] = pending
         location = self.address_map.st_location(group)
-
-        def on_fill(cycle: int) -> None:
-            st_entry = self.st.entry(group)
-            self.stc.insert(group, tuple(st_entry.qac))
-            fetch = self._pending_fetches.pop(group)
-            for waiting in fetch.continuations:
-                waiting(cycle)
-
         request = MemRequest(
             core_id=core_id,
             address=location.address,
             is_write=False,
             arrival=self.events.now,
             kind=RequestKind.ST_READ,
-            on_complete=on_fill,
+            on_complete=partial(self._fill_st_entry, group),
         )
         self.channels[location.channel].enqueue(request)
+
+    def _fill_st_entry(self, group: int, cycle: int) -> None:
+        """ST-entry fetch completion: fill the STC, release waiters."""
+        st_entry = self.st.entry(group)
+        self.stc.insert(group, tuple(st_entry.qac), st_entry=st_entry)
+        fetch = self._pending_fetches.pop(group)
+        for waiting in fetch.continuations:
+            waiting(cycle)
 
     def _serve(
         self,
@@ -209,33 +247,37 @@ class HybridMemoryController:
         on_complete: Optional[CompletionCallback],
         now: int,
     ) -> None:
-        st_entry = self.st.entry(group)
-        stc_entry = self.stc.peek(group)
+        stc_entry = self._stc_peek(group)
         if stc_entry is None:
             # Evicted between fill and serve by a competing access burst;
             # re-fetch (rare, only under extreme STC pressure).
             self._fetch_st_entry(
                 core_id,
                 group,
-                lambda cycle: self._serve(
-                    core_id, group, slot, is_write, on_complete, cycle
-                ),
+                partial(self._serve, core_id, group, slot, is_write, on_complete),
             )
             return
-        location = st_entry.location_of(slot)
+        # The resident entry's back-reference is the group's (unique,
+        # lazily created once) ST entry: one probe resolves both.
+        st_entry = stc_entry.st_entry
+        location = st_entry.loc_of_slot[slot]
         served_from_m1 = location == 0
 
-        # Per-block access counter (Figure 4), weighted per Section 4.1.
-        self.stc.bump(stc_entry, slot, self.policy.access_weight(is_write))
+        # Per-block access counter (Figure 4), weighted per Section 4.1
+        # (STCEntry.bump, inlined: saturating add on a resident counter).
+        counters = stc_entry.counters
+        counter_max = self._counter_max
+        bumped = counters[slot] + self._access_weights[is_write]
+        counters[slot] = bumped if bumped < counter_max else counter_max
 
         # RSM request counters (Table 3): one count per request, routed
         # to the requesting core's *program* (Section 3.1.1).
         program = self.program_of_core[core_id]
-        region = self.address_map.region_of_group(group)
-        self.rsm.on_request(
+        region = self._region_of_group(group)
+        self._rsm_on_request(
             program,
             region,
-            self.region_map.is_private_to(region, program),
+            self._private_region.get(program) == region,
             served_from_m1,
         )
 
@@ -247,41 +289,55 @@ class HybridMemoryController:
             stats.writes += 1
         else:
             stats.reads += 1
-        self.energy.record_served_request()
 
         # Migration decision (off the critical path, Section 3.2.3).
-        owner = self.owner_of_slot(group, slot)
-        ctx = AccessContext(
-            core_id=core_id,
-            group=group,
-            slot=slot,
-            location=location,
-            is_write=is_write,
-            owner=owner,
-            m1_owner=st_entry.m1_owner,
-            st_entry=st_entry,
-            stc_entry=stc_entry,
-            now=now,
-        )
-        promote_slot = self.policy.on_access(ctx)
+        # ``owner`` inlines owner_of_slot: frame = block_of(...) // 2.
+        owner = self._frame_owners.get((slot * self._total_groups + group) >> 1)
+        ctx = self._ctx
+        ctx.core_id = core_id
+        ctx.group = group
+        ctx.slot = slot
+        ctx.location = location
+        ctx.is_write = is_write
+        ctx.owner = owner
+        ctx.m1_owner = st_entry.m1_owner
+        ctx.st_entry = st_entry
+        ctx.stc_entry = stc_entry
+        ctx.now = now
+        promote_slot = self._policy_on_access(ctx)
 
-        block_location = self.address_map.data_location(group, location)
+        block_location = self._data_location(group, location)
 
-        def on_data_complete(cycle: int) -> None:
-            if promote_slot is not None:
-                self.request_promotion(group, promote_slot)
-            if on_complete is not None:
-                on_complete(cycle)
+        if promote_slot is None:
+            # Common case: nothing to do at completion beyond notifying
+            # the issuer, so its callback is passed through unwrapped.
+            on_data_complete = on_complete
+        else:
+            on_data_complete = partial(
+                self._complete_and_promote, group, promote_slot, on_complete
+            )
 
         request = MemRequest(
-            core_id=core_id,
-            address=block_location.address,
-            is_write=is_write,
-            arrival=now,
-            kind=RequestKind.DATA,
-            on_complete=on_data_complete,
+            core_id,
+            block_location.address,
+            is_write,
+            now,
+            RequestKind.DATA,
+            on_data_complete,
         )
         self.channels[block_location.channel].enqueue(request)
+
+    def _complete_and_promote(
+        self,
+        group: int,
+        promote_slot: int,
+        on_complete: Optional[CompletionCallback],
+        cycle: int,
+    ) -> None:
+        """Completion hook for accesses whose policy decided a promotion."""
+        self.request_promotion(group, promote_slot)
+        if on_complete is not None:
+            on_complete(cycle)
 
     # ------------------------------------------------------------------
     # Swaps
@@ -318,8 +374,7 @@ class HybridMemoryController:
                 self.core_stats[involved].swaps_involving += 1
         self.total_swaps += 1
 
-        def on_swap_done(cycle: int) -> None:
-            self._swap_pending.discard(group)
+        on_swap_done = partial(self._finish_swap, group)
 
         channel = self.channels[m1_address.channel]
         if self.policy.slow_swaps and not was_identity:
@@ -342,11 +397,14 @@ class HybridMemoryController:
         self.policy.on_swap(group, slot, demote_slot)
         return True
 
+    def _finish_swap(self, group: int, cycle: int) -> None:
+        self._swap_pending.discard(group)
+
     # ------------------------------------------------------------------
     # STC eviction handling
     # ------------------------------------------------------------------
     def _on_stc_eviction(self, stc_entry: STCEntry) -> None:
-        st_entry = self.st.entry(stc_entry.group)
+        st_entry = stc_entry.st_entry or self.st.entry(stc_entry.group)
         self.policy.on_st_eviction(stc_entry, st_entry)
         if any(count > 0 for count in stc_entry.counters):
             # QAC values changed: write the ST entry back to M1 (the paper
@@ -367,6 +425,9 @@ class HybridMemoryController:
     def finalize(self) -> None:
         """Flush the STC so final MDM statistics and QAC values land."""
         self.stc.flush()
+        # The requests/J numerator equals the per-core served counts, so
+        # it is settled once here instead of incremented per request.
+        self.energy.requests_served = self.total_requests()
 
     def total_requests(self) -> int:
         """Demand requests served across all cores."""

@@ -118,6 +118,17 @@ class OSAllocator:
                 )
             self._free[self._map.region_of_page(frame)].append(frame)
 
+    @property
+    def frame_owners(self) -> dict[int, int]:
+        """Live frame -> owning-program mapping.
+
+        The dict object is stable for the allocator's lifetime (allocate
+        and release mutate it in place), so hot paths may hold a direct
+        reference instead of paying two method calls per request.
+        Callers must treat it as read-only.
+        """
+        return self._owner
+
     def owner_of_frame(self, frame: int) -> Optional[int]:
         """Program owning a frame, or None if free."""
         return self._owner.get(frame)
@@ -140,13 +151,22 @@ class PageTable:
     ) -> None:
         self.program = program
         self._frames = allocator.allocate(program, num_pages)
+        self._num_pages = len(self._frames)
 
     @property
     def num_pages(self) -> int:
         """Pages in this program's footprint."""
-        return len(self._frames)
+        return self._num_pages
 
     def translate_line(self, virtual_line: int, lines_per_page: int) -> int:
-        """Virtual 64-B line number -> physical (original) line number."""
-        vpage, offset = divmod(virtual_line, lines_per_page)
-        return self._frames[vpage % self.num_pages] * lines_per_page + offset
+        """Virtual 64-B line number -> physical (original) line number.
+
+        Called once per demand request; the 64-line (4-KB) page used by
+        every trace takes the shift/mask path instead of a divmod.
+        """
+        if lines_per_page == 64:
+            vpage = virtual_line >> 6
+            offset = virtual_line & 63
+        else:
+            vpage, offset = divmod(virtual_line, lines_per_page)
+        return self._frames[vpage % self._num_pages] * lines_per_page + offset

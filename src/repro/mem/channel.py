@@ -60,6 +60,41 @@ class ChannelStats:
         return self.read_latency_sum / self.read_count
 
 
+class ModuleState:
+    """One module's banks plus its timing parameters in CPU cycles.
+
+    ``MemTimings`` stores nanoseconds and converts per property access;
+    the channel issues commands tens of thousands of times per simulated
+    millisecond, so the conversions are done once here and the hot path
+    reads plain ints.  This is also the single home for the
+    banks-plus-timings pattern that used to be spelled out twice (once
+    per module) in ``Channel.__init__``.
+    """
+
+    __slots__ = (
+        "banks",
+        "cl",
+        "t_rcd",
+        "t_rp",
+        "t_wr",
+        "t_refi",
+        "t_rfc",
+        "line_burst",
+        "next_refresh",
+    )
+
+    def __init__(self, timings: MemTimings, banks_per_rank: int) -> None:
+        self.banks = [Bank() for _ in range(banks_per_rank)]
+        self.cl = timings.cl
+        self.t_rcd = timings.t_rcd
+        self.t_rp = timings.t_rp
+        self.t_wr = timings.t_wr
+        self.t_refi = timings.t_refi
+        self.t_rfc = timings.t_rfc
+        self.line_burst = timings.line_burst
+        self.next_refresh = self.t_refi or (1 << 62)
+
+
 class Channel:
     """A memory channel shared by one M1 rank and one M2 rank."""
 
@@ -76,11 +111,14 @@ class Channel:
         row_idle_close: int = 0,
     ) -> None:
         self._events = events
-        self._timings = {Module.M1: m1_timings, Module.M2: m2_timings}
-        self._banks = {
-            Module.M1: [Bank() for _ in range(banks_per_rank)],
-            Module.M2: [Bank() for _ in range(banks_per_rank)],
-        }
+        # Same-cycle scheduling fast lane (the kick and posted-write
+        # acceptance below always fire at the current cycle).
+        self._schedule_now = events.schedule_now
+        # Indexed by Module (IntEnum): _modules[Module.M1] is the M1 state.
+        self._modules = (
+            ModuleState(m1_timings, banks_per_rank),
+            ModuleState(m2_timings, banks_per_rank),
+        )
         self._scheduler = FrFcfsCapScheduler(frfcfs_cap)
         self._energy = energy
         self._swap_latency = swap_latency
@@ -90,14 +128,14 @@ class Channel:
         self._write_queue: deque[MemRequest] = deque()
         self._write_accept_waiters: deque = deque()
         self._draining_writes = False
-        self._next_refresh = {
-            Module.M1: m1_timings.t_refi or (1 << 62),
-            Module.M2: m2_timings.t_refi or (1 << 62),
-        }
         self._bus_free_at = 0
         self._blocked_until = 0
         self._tick_scheduled = False
         self.stats = ChannelStats()
+
+    def bank(self, module: Module, index: int) -> Bank:
+        """One bank's state (inspection helper for tests and policies)."""
+        return self._modules[module].banks[index]
 
     # ------------------------------------------------------------------
     # Request path
@@ -118,28 +156,23 @@ class Channel:
             request.on_complete = None
             if acceptance is not None:
                 if len(self._write_queue) <= self.WRITE_QUEUE_CAP:
-                    self._events.schedule(self._events.now, acceptance)
+                    self._schedule_now(acceptance)
                 else:
                     self._write_accept_waiters.append(acceptance)
         else:
             self._pending.append(request)
-        self._kick(self._events.now)
+        if not self._tick_scheduled:
+            self._tick_scheduled = True
+            self._schedule_now(self._tick)
 
     def queue_depth(self) -> int:
         """Pending (unscheduled) requests, reads + buffered writes."""
         return len(self._pending) + len(self._write_queue)
 
-    def _kick(self, now: int) -> None:
-        if self._tick_scheduled:
-            return
-        if not self._pending and not self._write_queue:
-            return
-        self._tick_scheduled = True
-        self._events.schedule(max(now, self._events.now), self._tick)
-
     def _is_row_hit(self, request: MemRequest) -> bool:
-        bank = self._banks[request.address.module][request.address.bank]
-        return bank.is_row_hit(request.address.row)
+        address = request.address
+        bank = self._modules[address.module].banks[address.bank]
+        return bank.open_row == address.row
 
     #: Command-bus gap between consecutive scheduling decisions: one
     #: channel cycle (4 CPU cycles at 3.2/0.8 GHz).  Banks prepare in
@@ -166,97 +199,121 @@ class Channel:
 
     def _tick(self, now: int) -> None:
         self._tick_scheduled = False
-        if not self._pending and not self._write_queue:
+        pending = self._pending
+        write_queue = self._write_queue
+        if write_queue:
+            queue = self._select_queue()
+            if not queue:
+                queue = pending or write_queue
+        elif pending:
+            # Fast path: no buffered writes — reads drain, and any write
+            # drain mode ends (exactly what _select_queue would decide).
+            self._draining_writes = False
+            queue = pending
+        else:
             return
-        queue = self._select_queue()
-        if not queue:
-            queue = self._pending or self._write_queue
-        index = self._scheduler.select(list(queue), self._is_row_hit)
+        index = self._scheduler.select(queue, self._is_row_hit)
         request = queue[index]
         del queue[index]
         if (
             self._write_accept_waiters
-            and len(self._write_queue) <= self.WRITE_QUEUE_CAP
+            and len(write_queue) <= self.WRITE_QUEUE_CAP
         ):
-            self._events.schedule(now, self._write_accept_waiters.popleft())
+            self._schedule_now(self._write_accept_waiters.popleft())
         self._issue(request, now)
-        if self._pending or self._write_queue:
+        if pending or write_queue:
             self._tick_scheduled = True
             self._events.schedule(now + self.CMD_GAP, self._tick)
 
-    def _refresh_if_due(self, module: Module, now: int) -> None:
-        """Apply any refresh cycles that elapsed on ``module`` by ``now``.
+    def _refresh_if_due(self, module_state: ModuleState, now: int) -> None:
+        """Apply any refresh cycles that elapsed on the module by ``now``.
 
         Refresh is all-bank: every bank closes its row and stays busy for
         tRFC.  M2 (NVM) configures t_refi = 0 and never refreshes
         (Section 4.1).  Processing lazily at request issue is exact for
         timing because refresh only matters when traffic arrives.
         """
-        timings = self._timings[module]
-        if timings.t_refi == 0:
-            return
-        while now >= self._next_refresh[module]:
-            start = self._next_refresh[module]
-            end = start + timings.t_rfc
-            for bank in self._banks[module]:
+        while now >= module_state.next_refresh:
+            start = module_state.next_refresh
+            end = start + module_state.t_rfc
+            for bank in module_state.banks:
                 bank.close()
                 bank.reserve(end)
-            self._next_refresh[module] = start + timings.t_refi
+            module_state.next_refresh = start + module_state.t_refi
             self.stats.refreshes += 1
             if self._energy is not None:
                 self._energy.record_refresh()
 
     def _issue(self, request: MemRequest, now: int) -> None:
-        """Schedule one request's commands and data burst."""
-        address = request.address
-        timings = self._timings[address.module]
-        self._refresh_if_due(address.module, now)
-        bank = self._banks[address.module][address.bank]
+        """Schedule one request's commands and data burst.
 
-        prep_start = max(now, bank.ready_at, self._blocked_until)
+        Bank-state reads and the final ``bank.open`` are inlined (plain
+        slot loads/stores): this method runs once per served request.
+        """
+        address = request.address
+        module = address.module
+        module_state = self._modules[module]
+        if now >= module_state.next_refresh:
+            self._refresh_if_due(module_state, now)
+        bank = module_state.banks[address.bank]
+
+        bank_ready = bank.ready_at
+        prep_start = now if now > bank_ready else bank_ready
+        if self._blocked_until > prep_start:
+            prep_start = self._blocked_until
+        open_row = bank.open_row
+        row_idle_close = self._row_idle_close
         if (
-            bank.open_row is not None
-            and self._row_idle_close > 0
-            and prep_start - bank.ready_at >= self._row_idle_close
+            row_idle_close > 0
+            and open_row is not None
+            and prep_start - bank_ready >= row_idle_close
         ):
             # Adaptive page policy: the controller precharged this idle row
             # in the background.  The precharge (and write recovery, for a
             # dirty row) happened off the critical path; only its tail can
             # still delay a prompt re-activation.
-            close_began = bank.ready_at + self._row_idle_close
-            penalty = timings.t_rp + (timings.t_wr if bank.dirty else 0)
+            close_began = bank_ready + row_idle_close
+            penalty = module_state.t_rp + (module_state.t_wr if bank.dirty else 0)
             bank.closed_until = close_began + penalty
-            bank.close()
-        if bank.is_row_hit(address.row):
+            bank.open_row = open_row = None
+            bank.dirty = False
+        row = address.row
+        is_write = request.is_write
+        if open_row == row:
             # Row-buffer hit: CAS only; writes land in the row buffer and
             # defer their cell-write cost to the eventual precharge.
             request.row_hit = True
-            data_ready = prep_start + timings.cl
+            data_ready = prep_start + module_state.cl
+            dirty = is_write or bank.dirty
         else:
             request.row_hit = False
             precharge = 0
-            if bank.open_row is not None:
-                precharge = timings.t_rp
+            if open_row is not None:
+                precharge = module_state.t_rp
                 if bank.dirty:
                     # Write recovery: the dirty row must finish writing to
                     # the array before the precharge (tWR_M2 = 275 ns makes
                     # this the dominant NVM write cost, Section 4.1).
-                    precharge += timings.t_wr
+                    precharge += module_state.t_wr
             elif bank.closed_until > prep_start:
                 precharge = bank.closed_until - prep_start
-            data_ready = prep_start + precharge + timings.t_rcd + timings.cl
-            if self._energy is not None:
-                self._energy.record_activate(address.module)
-        burst_start = max(data_ready, self._bus_free_at)
-        burst_end = burst_start + timings.line_burst
+            data_ready = (
+                prep_start + precharge + module_state.t_rcd + module_state.cl
+            )
+            energy = self._energy
+            if energy is not None:
+                energy.activates[module] += 1
+            dirty = is_write
+        burst_start = data_ready
+        if self._bus_free_at > burst_start:
+            burst_start = self._bus_free_at
+        burst_end = burst_start + module_state.line_burst
         self._bus_free_at = burst_end
 
-        was_dirty_hit = request.row_hit and bank.dirty
-        bank.open(
-            address.row,
-            burst_end,
-            dirty=request.is_write or was_dirty_hit,
-        )
+        # bank.open(row, burst_end, dirty), inlined.
+        bank.open_row = row
+        bank.ready_at = burst_end
+        bank.dirty = dirty
 
         request.completion = burst_end
         self._record(request, burst_end)
@@ -265,22 +322,32 @@ class Channel:
 
     def _record(self, request: MemRequest, completion: int) -> None:
         stats = self.stats
-        if request.kind is RequestKind.ST_READ:
-            stats.st_reads += 1
-        elif request.kind is RequestKind.ST_WRITE:
-            stats.st_writes += 1
-        if request.is_write:
-            stats.writes += 1
-        else:
-            stats.reads += 1
-            if request.kind is RequestKind.DATA:
+        kind = request.kind
+        is_write = request.is_write
+        if kind is RequestKind.DATA:
+            # Demand traffic first: it dominates the served stream.
+            if is_write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
                 # Latency statistics track demand reads only (AMMAT).
                 stats.read_latency_sum += completion - request.arrival
                 stats.read_count += 1
+        else:
+            if kind is RequestKind.ST_READ:
+                stats.st_reads += 1
+            else:
+                stats.st_writes += 1
+            if is_write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
         if request.row_hit:
             stats.row_hits += 1
-        if self._energy is not None:
-            self._energy.record_line(request.address.module, request.is_write)
+        energy = self._energy
+        if energy is not None:
+            counters = energy.line_writes if is_write else energy.line_reads
+            counters[request.address.module] += 1
 
     # ------------------------------------------------------------------
     # Swaps
@@ -307,8 +374,8 @@ class Channel:
         self._bus_free_at = end
         # Both blocks were just rewritten: the involved rows end up open
         # and dirty (their array write-back is pending).
-        self._banks[Module.M1][m1_bank].open(m1_row, end, dirty=True)
-        self._banks[Module.M2][m2_bank].open(m2_row, end, dirty=True)
+        self._modules[Module.M1].banks[m1_bank].open(m1_row, end, dirty=True)
+        self._modules[Module.M2].banks[m2_bank].open(m2_row, end, dirty=True)
         self._scheduler.reset_streak()
         self.stats.swaps += 1
         if self._energy is not None:

@@ -20,9 +20,13 @@ class EnergyMeter:
     def __init__(self, config: EnergyConfig, num_channels: int) -> None:
         self._config = config
         self._num_channels = num_channels
-        self.activates = {Module.M1: 0, Module.M2: 0}
-        self.line_reads = {Module.M1: 0, Module.M2: 0}
-        self.line_writes = {Module.M1: 0, Module.M2: 0}
+        # Lists indexed by Module (an IntEnum), not dicts: the channel
+        # records a line transfer per served request, and list indexing
+        # skips the enum hashing.  ``meter.activates[Module.M1]`` reads
+        # the same either way.
+        self.activates = [0, 0]
+        self.line_reads = [0, 0]
+        self.line_writes = [0, 0]
         self.refreshes = 0
         self.requests_served = 0
 

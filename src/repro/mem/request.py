@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Callable, Optional
 
@@ -27,7 +27,7 @@ class RequestKind(IntEnum):
     ST_WRITE = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeviceAddress:
     """Bank/row coordinates of a 64-B line inside one module.
 
@@ -41,25 +41,55 @@ class DeviceAddress:
     row: int
 
 
-@dataclass
 class MemRequest:
     """One 64-B request presented to a channel.
 
     ``on_complete`` is invoked once, with the completion cycle, when the
     data burst for this request finishes (reads) or when the write is
     accepted onto the data bus (writes are posted).
+
+    A hand-rolled ``__slots__`` class rather than a dataclass: one of
+    these is allocated per memory access, so construction cost and
+    attribute-access cost are both on the kernel's critical path.
     """
 
-    core_id: int
-    address: DeviceAddress
-    is_write: bool
-    arrival: int
-    kind: RequestKind = RequestKind.DATA
-    on_complete: Optional[Callable[[int], None]] = None
-    #: Set by the channel when the request is scheduled.
-    completion: int = field(default=-1, init=False)
-    #: True if the access hit in the open row buffer.
-    row_hit: bool = field(default=False, init=False)
+    __slots__ = (
+        "core_id",
+        "address",
+        "is_write",
+        "arrival",
+        "kind",
+        "on_complete",
+        "completion",
+        "row_hit",
+    )
+
+    def __init__(
+        self,
+        core_id: int,
+        address: DeviceAddress,
+        is_write: bool,
+        arrival: int,
+        kind: RequestKind = RequestKind.DATA,
+        on_complete: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.address = address
+        self.is_write = is_write
+        self.arrival = arrival
+        self.kind = kind
+        self.on_complete = on_complete
+        #: Set by the channel when the request is scheduled.
+        self.completion = -1
+        #: True if the access hit in the open row buffer.
+        self.row_hit = False
+
+    def __repr__(self) -> str:  # debugging aid; never on the hot path
+        return (
+            f"MemRequest(core_id={self.core_id}, address={self.address!r}, "
+            f"is_write={self.is_write}, arrival={self.arrival}, "
+            f"kind={self.kind!r})"
+        )
 
     @property
     def served_from_m1(self) -> bool:

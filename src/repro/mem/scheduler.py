@@ -39,6 +39,14 @@ class FrFcfsCapScheduler:
         """
         if not pending:
             raise ValueError("select called with no pending requests")
+        if len(pending) == 1:
+            # Typical light-load case: one candidate, no choice to make —
+            # only the streak counter needs updating.
+            if is_row_hit(pending[0]):
+                self._consecutive_hits += 1
+            else:
+                self._consecutive_hits = 0
+            return 0
         chosen = 0
         if self._consecutive_hits < self.cap:
             for index, request in enumerate(pending):

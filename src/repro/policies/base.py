@@ -21,9 +21,16 @@ from repro.cache.stc import STCEntry
 from repro.hybrid.st_entry import STEntry
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessContext:
-    """Everything a policy may inspect about one served request."""
+    """Everything a policy may inspect about one served request.
+
+    The controller keeps ONE mutable instance and rewrites its fields for
+    every served request (the context used to be the most-constructed
+    object after :class:`MemRequest`).  The contract for policies: read
+    fields synchronously inside :meth:`MigrationPolicy.on_access`, never
+    retain the object or schedule deferred work that dereferences it.
+    """
 
     #: Core (program) that issued the request.
     core_id: int

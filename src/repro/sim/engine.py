@@ -10,7 +10,8 @@ retired over elapsed cycles at that instant.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import time
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
@@ -24,7 +25,13 @@ from repro.policies.base import MigrationPolicy
 from repro.sim.results import PolicyStats, ProgramResult, SimulationResult
 from repro.traces.generator import LINES_PER_PAGE
 
-#: Hard ceiling on processed events, to catch runaway simulations.
+if TYPE_CHECKING:
+    from repro.perf.profile import KernelProfile
+
+#: Hard ceiling on processed events, to catch runaway simulations.  The
+#: event queue raises :class:`SimulationError` when the ceiling is hit
+#: with work still pending (a truncated run must never be mistaken for a
+#: completed one).
 MAX_EVENTS = 2_000_000_000
 
 
@@ -41,6 +48,7 @@ class SimulationDriver:
         max_cycles: Optional[int] = None,
         program_of_core: Optional[Sequence[int]] = None,
         warmup_requests: int = 0,
+        profile: Optional["KernelProfile"] = None,
     ) -> None:
         if not traces:
             raise SimulationError("need at least one (name, trace) pair")
@@ -107,6 +115,11 @@ class SimulationDriver:
             )
             for core_id, (_name, trace) in enumerate(self.traces)
         ]
+        # Per-request bindings for _access (one call per demand request).
+        self._translators = [
+            table.translate_line for table in self.page_tables
+        ]
+        self._controller_access = self.controller.access
         self._first_pass_done = [False] * len(self.cores)
         self._end_cycle: Optional[int] = None
         self._instruction_snapshot: Optional[list[int]] = None
@@ -119,6 +132,9 @@ class SimulationDriver:
         self._warmup_cycle = 0
         self._warmup_instructions = [0] * len(self.cores)
         self._warmed = warmup_requests <= 0
+        # Optional throughput instrumentation (repro.perf); None keeps
+        # the kernel on the uninstrumented fast path.
+        self._profile = profile
 
     # ------------------------------------------------------------------
     def _access(self, core_id, virtual_line, is_write, on_complete) -> None:
@@ -131,10 +147,8 @@ class SimulationDriver:
             self._warmup_instructions = [
                 core.instructions_retired for core in self.cores
             ]
-        physical_line = self.page_tables[core_id].translate_line(
-            virtual_line, LINES_PER_PAGE
-        )
-        self.controller.access(core_id, physical_line, is_write, on_complete)
+        physical_line = self._translators[core_id](virtual_line, LINES_PER_PAGE)
+        self._controller_access(core_id, physical_line, is_write, on_complete)
 
     def _on_pass_complete(self, core_id: int, now: int) -> bool:
         self._first_pass_done[core_id] = True
@@ -150,24 +164,42 @@ class SimulationDriver:
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Run to completion and return the results."""
+        """Run to completion and return the results.
+
+        The event loop itself lives in :meth:`EventQueue.run` (the
+        inlined fast path); this method only wires up the cutoffs.  When
+        the ``MAX_EVENTS`` ceiling is hit the queue raises
+        :class:`SimulationError` instead of returning a truncated run.
+        """
         for core in self.cores:
             core.start()
-        processed = 0
-        while self.events.step():
-            processed += 1
-            if processed > MAX_EVENTS:
-                raise SimulationError("event budget exhausted; likely a hang")
-            if (
-                self._max_cycles is not None
-                and self.events.now > self._max_cycles
-            ):
-                self._force_end()
-                break
+        profile = self._profile
+        started = time.perf_counter() if profile is not None else 0.0
+        if profile is not None and profile.component_timing:
+            processed = self.events.run_profiled(
+                profile.component_buckets,
+                max_events=MAX_EVENTS,
+                stop_after_cycle=self._max_cycles,
+            )
+        else:
+            processed = self.events.run(
+                max_events=MAX_EVENTS,
+                stop_after_cycle=self._max_cycles,
+            )
+        if self._max_cycles is not None and self.events.now > self._max_cycles:
+            self._force_end()
         if self._end_cycle is None:
             self._force_end()
         self.controller.finalize()
-        return self._collect()
+        result = self._collect()
+        if profile is not None:
+            profile.record_run(
+                events=processed,
+                requests=self.controller.total_requests(),
+                cycles=result.cycles,
+                wall_seconds=time.perf_counter() - started,
+            )
+        return result
 
     def _force_end(self) -> None:
         if self._end_cycle is None:

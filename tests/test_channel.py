@@ -101,7 +101,7 @@ class TestSingleRequestLatency:
         w2 = read(Module.M2, 0, 0, None)
         w2.is_write = True
         run_one(events, channel, w2)
-        bank = channel._banks[Module.M2][0]
+        bank = channel.bank(Module.M2, 0)
         assert bank.ready_at == 600 + M2.cl + M2.line_burst
 
 

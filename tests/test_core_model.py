@@ -119,7 +119,7 @@ class TestRepetition:
         memory = InstantMemory(events, 10)
         core = TraceCore(0, CoreConfig(), trace, events, memory.access)
         core.start()
-        events.run(max_events=20)
+        events.run(stop_after_cycle=15)
         core.stop()
         events.run()
         assert len(memory.requests) < 100

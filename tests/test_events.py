@@ -1,5 +1,8 @@
 """Event-queue tests: ordering, determinism, error paths."""
 
+import heapq
+import random
+
 import pytest
 
 from repro.common.errors import SimulationError
@@ -69,14 +72,136 @@ class TestRun:
             q.schedule(i, lambda c: None)
         assert q.run() == 5
 
-    def test_run_bounded(self):
+    def test_run_raises_when_budget_hit(self):
+        # max_events is a runaway guard, not a pause button: hitting the
+        # ceiling with work still queued is an error, never a truncation.
         q = EventQueue()
         for i in range(5):
             q.schedule(i, lambda c: None)
-        assert q.run(max_events=2) == 2
-        assert len(q) == 3
+        with pytest.raises(SimulationError, match="event budget"):
+            q.run(max_events=2)
+        assert len(q) == 3  # unprocessed events stay queued
+
+    def test_run_exact_budget_completes(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(i, lambda c: None)
+        assert q.run(max_events=5) == 5
+
+    def test_run_stop_after_cycle(self):
+        q = EventQueue()
+        fired = []
+        for cycle in (1, 2, 8):
+            q.schedule(cycle, lambda c: fired.append(c))
+        assert q.run(stop_after_cycle=5) == 3
+        # The first event past the cutoff still runs; control then
+        # returns with the queue state intact.
+        assert fired == [1, 2, 8]
+        assert len(q) == 0
 
     def test_len(self):
         q = EventQueue()
         q.schedule(1, lambda c: None)
         assert len(q) == 1
+
+
+class _ReferenceHeapQueue:
+    """Textbook (cycle, seq) min-heap scheduler with no fast lane.
+
+    This is the semantics the optimized EventQueue must preserve: events
+    fire in cycle order, ties broken by insertion order, globally.
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self.now = 0
+
+    def schedule(self, cycle, callback):
+        assert cycle >= self.now
+        heapq.heappush(self._heap, (cycle, self._seq, callback))
+        self._seq += 1
+
+    def run(self):
+        count = 0
+        while self._heap:
+            cycle, _seq, callback = heapq.heappop(self._heap)
+            self.now = cycle
+            callback(cycle)
+            count += 1
+        return count
+
+
+class TestFifoLaneProperty:
+    """The same-cycle FIFO fast lane is observationally invisible.
+
+    Property: for any workload of events — including callbacks that
+    spawn more work at the current cycle mid-drain — the firing order of
+    EventQueue is identical to the reference single-heap scheduler.
+    """
+
+    @staticmethod
+    def _workload(queue, log, seed):
+        # Each callback logs itself, then spawns 0-2 children whose
+        # delays are drawn deterministically from the callback's own
+        # identity (seed + tag), so both queue implementations see the
+        # exact same schedule requests.  Delay 0 exercises the FIFO
+        # lane; positive delays exercise the heap.
+        def fire(tag):
+            def callback(cycle):
+                log.append((tag, cycle))
+                rng = random.Random(f"{seed}:{tag}")
+                if len(tag) < 6:
+                    for child in range(rng.randrange(3)):
+                        delay = rng.choice((0, 0, 1, 2, 5))
+                        queue.schedule(cycle + delay, fire(tag + (child,)))
+
+            return callback
+
+        rng = random.Random(seed)
+        for root in range(16):
+            queue.schedule(rng.randrange(8), fire((root,)))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference_heap_order(self, seed):
+        reference, reference_log = _ReferenceHeapQueue(), []
+        self._workload(reference, reference_log, seed)
+        reference_count = reference.run()
+
+        queue, log = EventQueue(), []
+        self._workload(queue, log, seed)
+        count = queue.run()
+
+        assert count == reference_count > 16
+        assert log == reference_log
+
+    def test_heap_events_precede_spawned_same_cycle_events(self):
+        # An event scheduled *for* cycle 5 ahead of time must fire
+        # before work scheduled *at* cycle 5 for cycle 5: the fast lane
+        # drains only once the heap has no events left at `now`.
+        q = EventQueue()
+        log = []
+
+        def h1(cycle):
+            log.append("h1")
+            q.schedule(cycle, lambda c: log.append("f1"))
+
+        q.schedule(5, h1)
+        q.schedule(5, lambda c: log.append("h2"))
+        q.run()
+        assert log == ["h1", "h2", "f1"]
+
+    def test_schedule_now_matches_schedule_at_now(self):
+        # schedule_now(cb) and schedule(now, cb) land in the same lane
+        # and interleave in strict insertion order.
+        q = EventQueue()
+        log = []
+
+        def kickoff(cycle):
+            q.schedule_now(lambda c: log.append("a"))
+            q.schedule(cycle, lambda c: log.append("b"))
+            q.schedule_now(lambda c: log.append("c"))
+
+        q.schedule(2, kickoff)
+        q.run()
+        assert log == ["a", "b", "c"]

@@ -1,0 +1,93 @@
+"""Golden determinism: the fast-path kernel is byte-identical to the seed.
+
+The blobs in ``tests/golden/`` were captured from the pre-optimization
+kernel (commit a771054) with the exact scenarios reproduced below: same
+configs, same traces, same seeds.  Every result field — cycles, swap
+counts, per-program IPC, energy, MDM/RSM stats — must match to the byte
+after any kernel change.  A diff here means event ordering, timing
+arithmetic, or stats accounting changed, which the performance work must
+never do.
+
+Regenerate the blobs ONLY when a change is *intended* to alter
+simulation results, and say so explicitly in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import paper_quad_core, paper_single_core
+from repro.sim.engine import SimulationDriver
+from repro.traces.generator import synthesize_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _single_pom_driver():
+    config = paper_single_core(scale=128)
+    traces = [("zeusmp", synthesize_trace("zeusmp", 1500, scale=128, seed=0))]
+    return SimulationDriver(config, "pom", traces, seed=0)
+
+
+def _quad_profess_driver():
+    config = paper_quad_core(scale=128)
+    traces = [
+        ("zeusmp", synthesize_trace("zeusmp", 1200, scale=128, seed=0)),
+        ("leslie3d", synthesize_trace("leslie3d", 800, scale=128, seed=1)),
+        ("mcf", synthesize_trace("mcf", 800, scale=128, seed=2)),
+        ("libquantum", synthesize_trace("libquantum", 800, scale=128, seed=3)),
+    ]
+    return SimulationDriver(config, "profess", traces, seed=0)
+
+
+SCENARIOS = {
+    "single_pom": _single_pom_driver,
+    "quad_profess": _quad_profess_driver,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_result_matches_golden_blob(name):
+    golden_text = (GOLDEN_DIR / f"{name}.json").read_text()
+    result = SCENARIOS[name]().run()
+    # Serialize exactly as the capture script did so the comparison is
+    # byte-for-byte: any drift in values OR in to_dict() structure fails.
+    current_text = (
+        json.dumps(result.to_dict(), indent=1, sort_keys=True) + "\n"
+    )
+    if current_text != golden_text:
+        golden = json.loads(golden_text)
+        current = json.loads(current_text)
+        diffs = _dict_diff(golden, current)
+        pytest.fail(
+            f"{name} diverged from golden blob "
+            f"({len(diffs)} differing paths):\n"
+            + "\n".join(diffs[:20])
+        )
+
+
+def _dict_diff(expected, actual, path=""):
+    """Flat list of 'path: expected != actual' strings for the failure
+    message — the raw blobs are thousands of lines."""
+    diffs = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in expected:
+                diffs.append(f"{sub}: unexpected key")
+            elif key not in actual:
+                diffs.append(f"{sub}: missing key")
+            else:
+                diffs.extend(_dict_diff(expected[key], actual[key], sub))
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            diffs.append(
+                f"{path}: length {len(expected)} != {len(actual)}"
+            )
+        else:
+            for index, (e, a) in enumerate(zip(expected, actual)):
+                diffs.extend(_dict_diff(e, a, f"{path}[{index}]"))
+    elif expected != actual:
+        diffs.append(f"{path}: {expected!r} != {actual!r}")
+    return diffs

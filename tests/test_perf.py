@@ -1,0 +1,126 @@
+"""Perf-harness tests: KernelProfile accounting, the benchmark payload,
+the baseline regression gate, and the instrumented event loop."""
+
+import json
+
+from repro.common.config import paper_single_core
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    compare_to_baseline,
+    run_scenario,
+    standard_scenarios,
+    write_bench_json,
+)
+from repro.perf.profile import KernelProfile
+from repro.sim.engine import SimulationDriver
+from repro.traces.generator import synthesize_trace
+
+
+def _tiny_driver(profile=None):
+    config = paper_single_core(scale=128)
+    traces = [("zeusmp", synthesize_trace("zeusmp", 300, scale=128, seed=0))]
+    return SimulationDriver(config, "static", traces, seed=0, profile=profile)
+
+
+class TestKernelProfile:
+    def test_accumulates_across_runs(self):
+        profile = KernelProfile()
+        profile.record_run(events=100, requests=10, cycles=50, wall_seconds=0.5)
+        profile.record_run(events=300, requests=30, cycles=150, wall_seconds=0.5)
+        assert profile.runs == 2
+        assert profile.events_processed == 400
+        assert profile.events_per_sec == 400.0
+        assert profile.requests_per_sec == 40.0
+
+    def test_zero_wall_time_is_not_a_division_error(self):
+        assert KernelProfile().events_per_sec == 0.0
+
+    def test_to_dict_omits_components_when_off(self):
+        profile = KernelProfile()
+        profile.record_run(events=1, requests=1, cycles=1, wall_seconds=1.0)
+        assert "components" not in profile.to_dict()
+
+    def test_driver_fills_counters(self):
+        profile = KernelProfile()
+        result = _tiny_driver(profile).run()
+        assert profile.runs == 1
+        assert profile.events_processed > result.total_requests
+        assert profile.requests_served == result.total_requests == 300
+        assert profile.cycles_simulated == result.cycles
+        assert profile.wall_seconds > 0
+
+    def test_component_timing_preserves_results(self):
+        # The instrumented loop must be observationally identical to the
+        # fast path — it only adds timing, never reordering.
+        plain = _tiny_driver().run()
+        instrumented_profile = KernelProfile(component_timing=True)
+        instrumented = _tiny_driver(instrumented_profile).run()
+        assert instrumented.to_dict() == plain.to_dict()
+        table = instrumented_profile.component_table()
+        assert table, "instrumented run produced no component buckets"
+        assert sum(calls for _label, calls, _s in table) == (
+            instrumented_profile.events_processed
+        )
+
+
+class TestBenchmark:
+    def test_quick_scenarios_are_smaller(self):
+        quick = {s.name: s for s in standard_scenarios(quick=True)}
+        full = {s.name: s for s in standard_scenarios(quick=False)}
+        assert set(quick) == set(full) == {"single", "multi"}
+        for name in quick:
+            quick_requests = sum(r for _p, r, _s in quick[name].programs)
+            full_requests = sum(r for _p, r, _s in full[name].programs)
+            assert quick_requests < full_requests
+
+    def test_run_scenario_reports_best_repeat(self):
+        scenario = standard_scenarios(quick=True)[0]
+        tiny = type(scenario)(
+            name=scenario.name,
+            policy=scenario.policy,
+            programs=(("zeusmp", 300, 0),),
+            quad=False,
+        )
+        result = run_scenario(tiny, repeats=2)
+        assert result.requests == 300
+        assert result.events > result.requests
+        assert result.events_per_sec > 0
+
+    def test_write_bench_json_round_trips(self, tmp_path):
+        payload = {"schema_version": BENCH_SCHEMA_VERSION, "scenarios": []}
+        out = tmp_path / "bench.json"
+        write_bench_json(payload, out)
+        assert json.loads(out.read_text()) == payload
+
+
+def _payload(quick=False, single=100_000.0, multi=100_000.0):
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "scenarios": [
+            {"name": "single", "events_per_sec": single},
+            {"name": "multi", "events_per_sec": multi},
+        ],
+    }
+
+
+class TestBaselineGate:
+    def test_passes_at_or_above_floor(self):
+        current = _payload(single=70_000.0, multi=200_000.0)
+        assert compare_to_baseline(current, _payload(), min_ratio=0.7) == []
+
+    def test_fails_below_floor(self):
+        current = _payload(single=69_000.0)
+        failures = compare_to_baseline(current, _payload(), min_ratio=0.7)
+        assert len(failures) == 1
+        assert "'single'" in failures[0]
+
+    def test_mode_mismatch_is_an_error(self):
+        failures = compare_to_baseline(_payload(quick=True), _payload())
+        assert failures and "mode mismatch" in failures[0]
+
+    def test_scenario_missing_from_baseline_is_skipped(self):
+        baseline = _payload()
+        baseline["scenarios"] = baseline["scenarios"][:1]  # drop "multi"
+        current = _payload(single=100_000.0, multi=1.0)
+        assert compare_to_baseline(current, baseline) == []
