@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+from repro.common.errors import InvalidValueError
 
 
 @dataclass(frozen=True)
@@ -57,7 +58,7 @@ def calibrate(
 ) -> CalibrationReport:
     """Build a :class:`CalibrationReport` from (predicted, actual) pairs."""
     if not pairs:
-        raise ValueError("no prediction pairs recorded")
+        raise InvalidValueError("no prediction pairs recorded")
     data = np.asarray(pairs, dtype=np.float64)
     predicted, actual = data[:, 0], data[:, 1]
     errors = predicted - actual
@@ -91,7 +92,7 @@ def calibration_by_bucket(
     high buckets on hot blocks) and where it drifts.
     """
     if not pairs:
-        raise ValueError("no prediction pairs recorded")
+        raise InvalidValueError("no prediction pairs recorded")
     data = np.asarray(pairs, dtype=np.float64)
     predicted, actual = data[:, 0], data[:, 1]
     rows = []

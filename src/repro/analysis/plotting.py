@@ -8,6 +8,7 @@ readable without a plotting stack (the environment is offline).
 from __future__ import annotations
 
 from typing import Mapping, Sequence
+from repro.common.errors import InvalidValueError
 
 
 def hbar_chart(
@@ -23,7 +24,7 @@ def hbar_chart(
     which matches how the paper's normalized charts read.
     """
     if not series:
-        raise ValueError("empty series")
+        raise InvalidValueError("empty series")
     labels = list(series)
     values = [float(series[label]) for label in labels]
     label_width = max(len(label) for label in labels)
@@ -63,7 +64,7 @@ def hbar_chart(
 def sparkline(values: Sequence[float]) -> str:
     """A one-line trend of a numeric series (8-level blocks)."""
     if not values:
-        raise ValueError("empty series")
+        raise InvalidValueError("empty series")
     blocks = "▁▂▃▄▅▆▇█"
     low, high = min(values), max(values)
     span = high - low

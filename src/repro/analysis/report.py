@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 from repro.common.stats import BoxplotStats, boxplot_stats, geomean
+from repro.common.errors import InvalidValueError
 
 
 def format_table(
@@ -65,7 +66,7 @@ def normalized_series_summary(
     by X% avg., up to Y% for Z").
     """
     if not series:
-        raise ValueError("empty series")
+        raise InvalidValueError("empty series")
     values = list(series.values())
     gmean = geomean(values)
     best_key = (

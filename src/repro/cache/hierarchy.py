@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 from repro.common.config import CacheLevelConfig
 from repro.cache.sets import SetAssociativeCache
+from repro.common.errors import InvalidValueError
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,7 @@ class CacheHierarchy:
 
     def __init__(self, levels: Sequence[CacheLevelConfig]) -> None:
         if not levels:
-            raise ValueError("need at least one cache level")
+            raise InvalidValueError("need at least one cache level")
         self._configs = list(levels)
         self._levels = [
             SetAssociativeCache[int](cfg.num_sets, cfg.associativity)

@@ -38,6 +38,16 @@ class SetAssociativeCache(Generic[V]):
     mask, as in hardware.
     """
 
+    __slots__ = (
+        "num_sets",
+        "associativity",
+        "replacement",
+        "_lfsr",
+        "_sets",
+        "hits",
+        "misses",
+    )
+
     def __init__(
         self,
         num_sets: int,

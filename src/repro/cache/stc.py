@@ -60,7 +60,22 @@ EvictionCallback = Callable[[STCEntry], None]
 
 
 class STC:
-    """The on-chip cache of ST entries, keyed by swap-group number."""
+    """The on-chip cache of ST entries, keyed by swap-group number.
+
+    ``lookup(group)`` (LRU-touching, stat-counting) and ``peek(group)``
+    (neither) are instance slots bound directly to the backing array's
+    methods: the per-request hot calls cost one frame, not a delegation
+    chain.
+    """
+
+    __slots__ = (
+        "_array",
+        "_group_size",
+        "_counter_max",
+        "_eviction_callbacks",
+        "lookup",
+        "peek",
+    )
 
     def __init__(
         self,
@@ -75,11 +90,10 @@ class STC:
         self._group_size = group_size
         self._counter_max = counter_max
         self._eviction_callbacks: list[EvictionCallback] = []
-        # Per-request hot calls: shadow the pure-delegation methods below
-        # with the array's own bound methods so a lookup costs one frame,
-        # not two.  Signatures and semantics are identical.
-        self.lookup = self._array.lookup  # type: ignore[method-assign]
-        self.peek = self._array.peek  # type: ignore[method-assign]
+        #: LRU-touching lookup; None on miss (stats updated).
+        self.lookup: Callable[[int], Optional[STCEntry]] = self._array.lookup
+        #: Non-touching, stat-free lookup (used by policies).
+        self.peek: Callable[[int], Optional[STCEntry]] = self._array.peek
 
     def on_eviction(self, callback: EvictionCallback) -> None:
         """Register a callback invoked with every evicted entry."""
@@ -99,14 +113,6 @@ class STC:
     def misses(self) -> int:
         """Number of lookups that missed."""
         return self._array.misses
-
-    def lookup(self, group: int) -> Optional[STCEntry]:
-        """LRU-touching lookup; None on miss (stats updated)."""
-        return self._array.lookup(group)
-
-    def peek(self, group: int) -> Optional[STCEntry]:
-        """Non-touching, stat-free lookup (used by policies)."""
-        return self._array.peek(group)
 
     def insert(
         self,

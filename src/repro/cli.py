@@ -98,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument(
+        "--validate-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="audit all simulator invariants (sim.validation) every N "
+        "cycles during each run; corruption aborts the run instead of "
+        "poisoning results (0 = off; does not affect cache keys)",
+    )
+    run_parser.add_argument(
         "--out", type=Path, default=None, help="directory for .txt reports"
     )
     run_parser.add_argument("--verbose", action="store_true")
@@ -195,6 +204,48 @@ def build_parser() -> argparse.ArgumentParser:
         "(instrumented event loop; slower) and print the breakdown",
     )
     perf_parser.add_argument("--verbose", action="store_true")
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the repro static-analysis pass (determinism/hot-path/"
+        "contract rules)",
+        description="AST-based project lint (DESIGN.md Sec. 11): D-rules "
+        "protect golden determinism, H-rules protect the kernel fast "
+        "path via the hot-path manifest, C-rules enforce API contracts. "
+        "Exit 0 when clean, 1 when findings remain, 2 on usage errors.",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is one object with a findings array)",
+    )
+    lint_parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids/prefixes to enable (e.g. D,H201)",
+    )
+    lint_parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids/prefixes to disable",
+    )
+    lint_parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed vs HEAD (pre-commit mode)",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its description and exit",
+    )
     return parser
 
 
@@ -207,6 +258,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         verbose=getattr(args, "verbose", False),
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        validate_every=getattr(args, "validate_every", 0),
     )
 
 
@@ -359,6 +411,51 @@ def _perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint import RULES, LintError, lint_paths
+
+    if args.list_rules:
+        width = max(len(rule) for rule in RULES)
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule.ljust(width)}  {description}")
+        return 0
+    paths = args.paths or [Path(__file__).parent]
+    try:
+        findings = lint_paths(
+            paths,
+            select=args.select,
+            ignore=args.ignore,
+            changed_only=args.changed,
+        )
+    except LintError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            counts: dict[str, int] = {}
+            for finding in findings:
+                counts[finding.rule] = counts.get(finding.rule, 0) + 1
+            summary = ", ".join(
+                f"{rule} x{count}" for rule, count in sorted(counts.items())
+            )
+            print(f"{len(findings)} finding(s): {summary}", file=sys.stderr)
+    return 1 if findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -375,6 +472,8 @@ def main(argv: list[str] | None = None) -> int:
         return _characterize(args)
     if args.command == "perf":
         return _perf(args)
+    if args.command == "lint":
+        return _lint(args)
     return _run(args)
 
 

@@ -15,3 +15,20 @@ class TraceError(ReproError):
 
 class SimulationError(ReproError):
     """An internal invariant of the simulation engine was violated."""
+
+
+class InvalidValueError(ReproError, ValueError):
+    """A bad argument or out-of-domain value passed to a public API.
+
+    Derives from :class:`ValueError` too, so callers (and tests) that
+    catch the builtin keep working; new code should catch
+    :class:`ReproError` (the C303 lint rule enforces the pedigree).
+    """
+
+
+class UnknownNameError(ReproError, KeyError):
+    """An unknown program, workload, policy, or experiment name."""
+
+
+class RangeError(ReproError, IndexError):
+    """An index or identifier outside its structure's valid range."""

@@ -13,7 +13,7 @@ import hashlib
 import json
 
 
-def jsonable(value):
+def jsonable(value: object) -> object:
     """Coerce ``value`` into something ``json.dump`` accepts.
 
     Scalars pass through, containers recurse, numpy scalars unwrap via
@@ -32,7 +32,7 @@ def jsonable(value):
     return str(value)
 
 
-def canonical_value(value):
+def canonical_value(value: object) -> object:
     """A canonical JSON-ready view of ``value`` for hashing.
 
     Dataclasses become name-sorted dicts (stable under field reordering),
@@ -57,7 +57,7 @@ def canonical_value(value):
     return str(value)
 
 
-def canonical_digest(value) -> str:
+def canonical_digest(value: object) -> str:
     """SHA-256 hex digest of the canonical form of ``value``."""
     payload = json.dumps(canonical_value(value), sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+from repro.common.errors import InvalidValueError
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -21,11 +22,11 @@ def geomean(values: Iterable[float]) -> float:
     """
     values = list(values)
     if not values:
-        raise ValueError("geomean of empty sequence")
+        raise InvalidValueError("geomean of empty sequence")
     total = 0.0
     for v in values:
         if v <= 0:
-            raise ValueError(f"geomean requires positive values, got {v}")
+            raise InvalidValueError(f"geomean requires positive values, got {v}")
         total += math.log(v)
     return math.exp(total / len(values))
 
@@ -34,7 +35,7 @@ def mean(values: Iterable[float]) -> float:
     """Arithmetic mean; raises ValueError on empty input."""
     values = list(values)
     if not values:
-        raise ValueError("mean of empty sequence")
+        raise InvalidValueError("mean of empty sequence")
     return sum(values) / len(values)
 
 
@@ -42,7 +43,7 @@ def stddev(values: Iterable[float]) -> float:
     """Population standard deviation (the paper's sigma estimates)."""
     values = list(values)
     if not values:
-        raise ValueError("stddev of empty sequence")
+        raise InvalidValueError("stddev of empty sequence")
     mu = sum(values) / len(values)
     return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
 
@@ -50,9 +51,9 @@ def stddev(values: Iterable[float]) -> float:
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
     """Linear-interpolation percentile on an already sorted sequence."""
     if not sorted_values:
-        raise ValueError("percentile of empty sequence")
+        raise InvalidValueError("percentile of empty sequence")
     if not 0.0 <= fraction <= 1.0:
-        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        raise InvalidValueError(f"fraction must be in [0, 1], got {fraction}")
     if len(sorted_values) == 1:
         return float(sorted_values[0])
     position = fraction * (len(sorted_values) - 1)
@@ -86,7 +87,7 @@ def boxplot_stats(values: Iterable[float]) -> BoxplotStats:
     """Compute the Tukey box-plot summary the paper uses for Figure 5."""
     data = sorted(values)
     if not data:
-        raise ValueError("boxplot_stats of empty sequence")
+        raise InvalidValueError("boxplot_stats of empty sequence")
     q1 = percentile(data, 0.25)
     q3 = percentile(data, 0.75)
     iqr = q3 - q1

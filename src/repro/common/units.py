@@ -9,6 +9,7 @@ Integer cycles avoid float drift over billions of simulated cycles.
 from __future__ import annotations
 
 import math
+from repro.common.errors import InvalidValueError
 
 KB = 1024
 MB = 1024 * KB
@@ -47,5 +48,5 @@ def is_power_of_two(value: int) -> bool:
 def log2_exact(value: int) -> int:
     """Return log2 of a power of two, raising ValueError otherwise."""
     if not is_power_of_two(value):
-        raise ValueError(f"{value} is not a power of two")
+        raise InvalidValueError(f"{value} is not a power of two")
     return value.bit_length() - 1

@@ -27,6 +27,7 @@ from enum import Enum
 
 from repro.common.config import MDMConfig
 from repro.core.qac import bucket_midpoint
+from repro.common.errors import InvalidValueError
 
 
 class Phase(Enum):
@@ -87,9 +88,9 @@ class MDMProgramStats:
         QAC value and generate no transition).
         """
         if not 1 <= q_e <= self.num_qe:
-            raise ValueError(f"invalid q_E {q_e}")
+            raise InvalidValueError(f"invalid q_E {q_e}")
         if not 0 <= q_i < self.num_qi:
-            raise ValueError(f"invalid q_I {q_i}")
+            raise InvalidValueError(f"invalid q_I {q_i}")
         self.accum_cnt[q_e] += count
         self.num_q_sum_i[q_e] += 1
         self.num_q[q_i][q_e] += 1

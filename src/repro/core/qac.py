@@ -19,6 +19,7 @@ ablation benchmarks can perturb them.
 from __future__ import annotations
 
 from typing import Sequence
+from repro.common.errors import InvalidValueError
 
 
 def quantize_access_count(
@@ -31,7 +32,7 @@ def quantize_access_count(
     increasing.
     """
     if count < 0:
-        raise ValueError(f"negative access count {count}")
+        raise InvalidValueError(f"negative access count {count}")
     value = 0
     for index, lower_bound in enumerate(boundaries):
         if count >= lower_bound:
@@ -51,7 +52,7 @@ def bucket_midpoint(
     predictor (before any transitions have been observed).
     """
     if not 1 <= qac_value <= len(boundaries):
-        raise ValueError(f"QAC value {qac_value} has no bucket")
+        raise InvalidValueError(f"QAC value {qac_value} has no bucket")
     lower = boundaries[qac_value - 1]
     if qac_value == len(boundaries):
         return 1.5 * lower

@@ -21,7 +21,7 @@ SF_A) the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.config import RSMConfig

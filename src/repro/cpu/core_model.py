@@ -33,6 +33,36 @@ class TraceCore:
     Section 4.2) or False to stop the core.
     """
 
+    __slots__ = (
+        "core_id",
+        "config",
+        "trace",
+        "events",
+        "access",
+        "on_pass_complete",
+        "index",
+        "passes_completed",
+        "instructions_retired",
+        "outstanding_reads",
+        "writes_in_flight",
+        "stopped",
+        "finished_at",
+        "_waiting_for_read",
+        "_waiting_for_write",
+        "_gaps",
+        "_lines",
+        "_writes",
+        "_length",
+        "_compute_cycles",
+        "_mlp",
+        "_write_buffer",
+        "_schedule",
+        "_issue_next_cb",
+        "_dispatch_cb",
+        "_on_read_complete_cb",
+        "_on_write_complete_cb",
+    )
+
     def __init__(
         self,
         core_id: int,

@@ -29,6 +29,7 @@ from typing import Callable, Optional, Sequence
 from repro.exec.cache import ResultCache
 from repro.exec.spec import RunSpec, build_traces
 from repro.sim.results import SimulationResult
+from repro.common.errors import InvalidValueError
 
 #: Result provenance labels reported via :class:`RunEvent`.
 SOURCE_CACHE = "cache"
@@ -50,6 +51,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
         build_traces(spec),
         seed=spec.seed,
         track_rsm_regions=spec.track_rsm_regions,
+        validate_every=spec.validate_every,
     )
     return driver.run()
 
@@ -82,7 +84,7 @@ class Executor:
         on_run: Optional[Callable[[RunEvent], None]] = None,
     ) -> None:
         if jobs < 1:
-            raise ValueError("jobs must be >= 1")
+            raise InvalidValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.on_run = on_run

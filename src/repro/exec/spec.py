@@ -18,6 +18,7 @@ from repro.common.config import SystemConfig
 from repro.common.serialize import canonical_digest
 from repro.cpu.trace import Trace
 from repro.traces.generator import synthesize_trace
+from repro.common.errors import InvalidValueError
 
 #: Run kinds; part of the cache key so e.g. a single-core run and a
 #: stand-alone quad-core run of the same program never collide.
@@ -45,12 +46,18 @@ class RunSpec:
     trace_scale: int
     #: Enable per-region RSM accounting (Table 4 diagnostics).
     track_rsm_regions: bool = False
+    #: Audit all controller invariants every N cycles during the run
+    #: (0 = off).  Purely diagnostic — a corrupted run raises instead of
+    #: returning — so it is deliberately EXCLUDED from :meth:`cache_key`:
+    #: a validated result is interchangeable with an unvalidated one,
+    #: and cached results are served without re-simulation.
+    validate_every: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
-            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+            raise InvalidValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
         if not self.programs:
-            raise ValueError("a RunSpec needs at least one program")
+            raise InvalidValueError("a RunSpec needs at least one program")
 
     def cache_key(self) -> str:
         """Stable content hash identifying this run's result.

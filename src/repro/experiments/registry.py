@@ -28,6 +28,7 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import ExperimentRunner
+from repro.common.errors import UnknownNameError
 
 
 @dataclass(frozen=True)
@@ -101,7 +102,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
 }
 
 
-class UnknownExperimentError(KeyError):
+class UnknownExperimentError(UnknownNameError):
     """Raised when one or more requested experiment ids do not exist."""
 
     def __init__(self, unknown: list[str]) -> None:
@@ -143,7 +144,7 @@ def run_experiment(
     try:
         spec = EXPERIMENTS[experiment_id]
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown experiment {experiment_id!r}; known: "
             f"{sorted(EXPERIMENTS)}"
         ) from None

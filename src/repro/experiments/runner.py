@@ -59,6 +59,7 @@ class ExperimentRunner:
         sp_reference: Optional[str] = "pom",
         jobs: int = 1,
         cache_dir: Optional[str | Path] = None,
+        validate_every: int = 0,
     ) -> None:
         self.scale = scale
         self.multi_requests = multi_requests
@@ -73,6 +74,9 @@ class ExperimentRunner:
         #: Pass None to use each scheme's own stand-alone runs instead.
         self.sp_reference = sp_reference
         self.jobs = jobs
+        #: Forwarded to every spec this runner builds: audit controller
+        #: invariants every N cycles during simulation (0 = off).
+        self.validate_every = validate_every
         self.cache = (
             ResultCache(cache_dir) if cache_dir is not None else None
         )
@@ -139,6 +143,7 @@ class ExperimentRunner:
             seed=self.seed,
             trace_scale=self.scale,
             track_rsm_regions=track_rsm_regions,
+            validate_every=self.validate_every,
         )
 
     def spec_alone(
@@ -156,6 +161,7 @@ class ExperimentRunner:
             requests=self.multi_requests,
             seed=self.seed,
             trace_scale=self.scale,
+            validate_every=self.validate_every,
         )
 
     def spec_workload(
@@ -182,6 +188,7 @@ class ExperimentRunner:
             requests=self.multi_requests,
             seed=self.seed,
             trace_scale=self.scale,
+            validate_every=self.validate_every,
         )
 
     def metric_specs(

@@ -39,7 +39,7 @@ from repro.policies.base import AccessContext, MigrationPolicy
 CompletionCallback = Callable[[int], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreMemStats:
     """Per-core demand-traffic statistics (Figures 6, 16)."""
 
@@ -55,7 +55,7 @@ class CoreMemStats:
         return self.served_from_m1 / self.requests if self.requests else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingFetch:
     """An in-flight ST-entry fetch with the accesses waiting on it."""
 
@@ -64,6 +64,40 @@ class _PendingFetch:
 
 class HybridMemoryController:
     """Ties channels, ST/STC, regions, RSM, and a migration policy together."""
+
+    __slots__ = (
+        "config",
+        "events",
+        "policy",
+        "program_of_core",
+        "num_programs",
+        "address_map",
+        "energy",
+        "channels",
+        "st",
+        "stc",
+        "region_map",
+        "allocator",
+        "rsm",
+        "core_stats",
+        "total_swaps",
+        "_pending_fetches",
+        "_swap_pending",
+        "_stc_latency",
+        "_access_weights",
+        "_counter_max",
+        "_total_groups",
+        "_stc_lookup",
+        "_stc_peek",
+        "_group_and_slot_of_line",
+        "_region_of_group",
+        "_data_location",
+        "_frame_owners",
+        "_private_region",
+        "_rsm_on_request",
+        "_policy_on_access",
+        "_ctx",
+    )
 
     def __init__(
         self,
@@ -369,9 +403,13 @@ class HybridMemoryController:
         if not self.region_map.is_private(region):
             # Swaps in private regions are not counted (Section 3.1.2).
             self.rsm.on_swap(owner_promoted, owner_demoted)
-        for involved in {owner_promoted, owner_demoted}:
-            if involved is not None:
-                self.core_stats[involved].swaps_involving += 1
+        # Explicit pair instead of iterating a {a, b} set literal: with a
+        # None member, set order is address-dependent (D104), and dedup
+        # must not rely on hashing.
+        if owner_promoted is not None:
+            self.core_stats[owner_promoted].swaps_involving += 1
+        if owner_demoted is not None and owner_demoted != owner_promoted:
+            self.core_stats[owner_demoted].swaps_involving += 1
         self.total_swaps += 1
 
         on_swap_done = partial(self._finish_swap, group)

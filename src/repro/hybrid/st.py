@@ -8,10 +8,13 @@ table (an untouched entry is the identity mapping).
 from __future__ import annotations
 
 from repro.hybrid.st_entry import STEntry
+from repro.common.errors import RangeError
 
 
 class SwapGroupTable:
     """Lazily materialized array of :class:`STEntry`."""
+
+    __slots__ = ("total_groups", "group_size", "_entries")
 
     def __init__(self, total_groups: int, group_size: int) -> None:
         self.total_groups = total_groups
@@ -21,7 +24,7 @@ class SwapGroupTable:
     def entry(self, group: int) -> STEntry:
         """The ST entry for ``group`` (created on first touch)."""
         if not 0 <= group < self.total_groups:
-            raise IndexError(f"group {group} out of range")
+            raise RangeError(f"group {group} out of range")
         entry = self._entries.get(group)
         if entry is None:
             entry = STEntry(self.group_size)

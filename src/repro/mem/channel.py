@@ -98,6 +98,25 @@ class ModuleState:
 class Channel:
     """A memory channel shared by one M1 rank and one M2 rank."""
 
+    __slots__ = (
+        "_events",
+        "_schedule_now",
+        "_modules",
+        "_scheduler",
+        "_energy",
+        "_swap_latency",
+        "_lines_per_block",
+        "_row_idle_close",
+        "_pending",
+        "_write_queue",
+        "_write_accept_waiters",
+        "_draining_writes",
+        "_bus_free_at",
+        "_blocked_until",
+        "_tick_scheduled",
+        "stats",
+    )
+
     def __init__(
         self,
         events: EventQueue,

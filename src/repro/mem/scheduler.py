@@ -12,14 +12,17 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.mem.request import MemRequest
+from repro.common.errors import InvalidValueError
 
 
 class FrFcfsCapScheduler:
     """Selects the next request to issue from a pending queue."""
 
+    __slots__ = ("cap", "_consecutive_hits")
+
     def __init__(self, cap: int = 4) -> None:
         if cap < 1:
-            raise ValueError("cap must be >= 1")
+            raise InvalidValueError("cap must be >= 1")
         self.cap = cap
         self._consecutive_hits = 0
 
@@ -38,7 +41,7 @@ class FrFcfsCapScheduler:
         chosen request's hit/miss status updates the streak counter.
         """
         if not pending:
-            raise ValueError("select called with no pending requests")
+            raise InvalidValueError("select called with no pending requests")
         if len(pending) == 1:
             # Typical light-load case: one candidate, no choice to make —
             # only the streak counter needs updating.

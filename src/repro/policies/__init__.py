@@ -10,6 +10,7 @@ from repro.policies.cameo import CameoPolicy
 from repro.policies.pom import PoMPolicy
 from repro.policies.silcfm import SilcFMPolicy
 from repro.policies.mempod import MemPodPolicy
+from repro.common.errors import InvalidValueError
 
 __all__ = [
     "AccessContext",
@@ -46,7 +47,7 @@ def make_policy(name: str, config) -> MigrationPolicy:
     try:
         factory = factories[name.lower()]
     except KeyError:
-        raise ValueError(
+        raise InvalidValueError(
             f"unknown policy {name!r}; choose from {sorted(factories)}"
         ) from None
     return factory(config)

@@ -49,6 +49,7 @@ class SimulationDriver:
         program_of_core: Optional[Sequence[int]] = None,
         warmup_requests: int = 0,
         profile: Optional["KernelProfile"] = None,
+        validate_every: int = 0,
     ) -> None:
         if not traces:
             raise SimulationError("need at least one (name, trace) pair")
@@ -135,6 +136,16 @@ class SimulationDriver:
         # Optional throughput instrumentation (repro.perf); None keeps
         # the kernel on the uninstrumented fast path.
         self._profile = profile
+        # Optional periodic invariant auditing (``--validate-every N``):
+        # every N cycles a self-rescheduling event runs the full
+        # :func:`repro.sim.validation.validate_controller` audit, so a
+        # corrupted ST permutation or counter overflow aborts a long
+        # simulation within N cycles instead of silently poisoning its
+        # results.  0 (the default) schedules nothing — the hot path is
+        # untouched and runs stay byte-identical to the golden blobs.
+        if validate_every < 0:
+            raise SimulationError("validate_every must be >= 0")
+        self._validate_every = validate_every
 
     # ------------------------------------------------------------------
     def _access(self, core_id, virtual_line, is_write, on_complete) -> None:
@@ -173,6 +184,10 @@ class SimulationDriver:
         """
         for core in self.cores:
             core.start()
+        if self._validate_every > 0:
+            self.events.schedule(
+                self.events.now + self._validate_every, self._periodic_validate
+            )
         profile = self._profile
         started = time.perf_counter() if profile is not None else 0.0
         if profile is not None and profile.component_timing:
@@ -200,6 +215,22 @@ class SimulationDriver:
                 wall_seconds=time.perf_counter() - started,
             )
         return result
+
+    def _periodic_validate(self, now: int) -> None:
+        """Audit all controller invariants, then re-arm.
+
+        Stops re-arming once the measured run has ended (``_end_cycle``
+        set), so the event queue still drains and the run terminates at
+        most ``validate_every`` cycles of queued events later.
+        """
+        from repro.sim.validation import validate_controller
+
+        if self._end_cycle is not None:
+            return
+        validate_controller(self.controller)
+        self.events.schedule(
+            now + self._validate_every, self._periodic_validate
+        )
 
     def _force_end(self) -> None:
         if self._end_cycle is None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional
+from repro.common.errors import InvalidValueError, UnknownNameError
 
 
 @dataclass(frozen=True)
@@ -49,7 +50,7 @@ class ProgramProfile:
     def __post_init__(self) -> None:
         total_weight = sum(c.weight for c in self.components)
         if abs(total_weight - 1.0) > 1e-9:
-            raise ValueError(
+            raise InvalidValueError(
                 f"{self.name}: component weights sum to {total_weight}, not 1"
             )
 
@@ -186,6 +187,6 @@ def profile(name: str) -> ProgramProfile:
     try:
         return PROGRAM_PROFILES[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown program {name!r}; choose from {sorted(PROGRAM_PROFILES)}"
         ) from None

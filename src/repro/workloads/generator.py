@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.common.rng import make_rng
 from repro.traces.spec import PROGRAM_PROFILES
+from repro.common.errors import InvalidValueError
 
 #: Intensity classes by Table 9 MPKI: heavy (>= 25), medium, light (< 12).
 HEAVY = tuple(
@@ -38,7 +39,7 @@ def random_mix(
     mirroring Table 10's composition style.
     """
     if size < 2:
-        raise ValueError("a mix needs at least two programs")
+        raise InvalidValueError("a mix needs at least two programs")
     rng = make_rng(seed, "workload-mix", index, size)
     chosen = [
         str(rng.choice(HEAVY)),

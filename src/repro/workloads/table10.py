@@ -6,6 +6,7 @@ an independently seeded trace.
 """
 
 from __future__ import annotations
+from repro.common.errors import UnknownNameError
 
 WORKLOADS: dict[str, tuple[str, str, str, str]] = {
     "w01": ("mcf", "libquantum", "leslie3d", "lbm"),
@@ -41,6 +42,6 @@ def workload(name: str) -> tuple[str, str, str, str]:
     try:
         return WORKLOADS[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
         ) from None

@@ -1,0 +1,8 @@
+"""C301: bare except swallows SystemExit and KeyboardInterrupt."""
+
+
+def load(path):
+    try:
+        return path.read_text()
+    except:  # noqa is deliberate-free: this must fire
+        return None

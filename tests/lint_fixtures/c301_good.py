@@ -1,0 +1,8 @@
+"""C301 clean: handlers name the exceptions they mean to catch."""
+
+
+def load(path):
+    try:
+        return path.read_text()
+    except (OSError, UnicodeDecodeError):
+        return None

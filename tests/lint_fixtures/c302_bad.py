@@ -1,0 +1,6 @@
+"""C302: mutable defaults are shared across every call."""
+
+
+def collect(item, into=[], index={}, *, seen=set()):
+    into.append(item)
+    return into, index, seen

@@ -1,0 +1,8 @@
+"""C302 clean: None sentinels, fresh containers inside the function."""
+
+
+def collect(item, into=None, index=None, *, seen=frozenset()):
+    into = [] if into is None else into
+    index = {} if index is None else index
+    into.append(item)
+    return into, index, seen

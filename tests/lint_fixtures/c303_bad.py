@@ -1,0 +1,13 @@
+"""C303: exceptions outside the ReproError pedigree."""
+
+
+class FixtureError(Exception):
+    pass
+
+
+def fail():
+    raise FixtureError("boom")
+
+
+def reject(value):
+    raise ValueError(f"bad value: {value}")

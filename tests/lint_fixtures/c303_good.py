@@ -1,0 +1,24 @@
+"""C303 clean: every raise reaches ReproError (builtin mixed in for
+callers that expect the stdlib type); NotImplementedError stays legal."""
+
+from repro.common.errors import ReproError
+
+
+class FixtureError(ReproError):
+    pass
+
+
+class FixtureValueError(FixtureError, ValueError):
+    pass
+
+
+def fail():
+    raise FixtureError("boom")
+
+
+def reject(value):
+    raise FixtureValueError(f"bad value: {value}")
+
+
+def todo():
+    raise NotImplementedError

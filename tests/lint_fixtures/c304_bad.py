@@ -1,0 +1,10 @@
+"""C304: public API in an annotated package without complete hints."""
+
+
+def combine(left, right):
+    return left + right
+
+
+class Mapper:
+    def lookup(self, key, default=None):
+        return default

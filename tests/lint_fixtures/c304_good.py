@@ -1,0 +1,20 @@
+"""C304 clean: public functions fully hinted; private and nested
+functions are implementation detail and stay free-form."""
+
+from typing import Optional
+
+
+def combine(left: int, right: int) -> int:
+    def add(a, b):  # nested: exempt
+        return a + b
+
+    return add(left, right)
+
+
+def _helper(left, right):  # private: exempt
+    return left + right
+
+
+class Mapper:
+    def lookup(self, key: str, default: Optional[int] = None) -> Optional[int]:
+        return default

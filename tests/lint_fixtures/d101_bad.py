@@ -1,0 +1,8 @@
+"""D101: stdlib random imported outside repro.common.rng."""
+
+import random
+from random import choice
+
+
+def pick(values):
+    return choice(values) if values else random.random()

@@ -1,0 +1,8 @@
+"""D101 clean: randomness comes from the seeded substream factory."""
+
+from repro.common.rng import make_rng
+
+
+def pick(values, seed):
+    rng = make_rng(seed, "fixture")
+    return values[int(rng.integers(0, len(values)))]

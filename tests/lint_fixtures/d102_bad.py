@@ -1,0 +1,7 @@
+"""D102: numpy.random used outside repro.common.rng."""
+
+import numpy as np
+
+
+def noise(n):
+    return np.random.default_rng(0).normal(size=n)

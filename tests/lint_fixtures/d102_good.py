@@ -1,0 +1,10 @@
+"""D102 clean: numpy used, but never its global random state."""
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+
+def noise(n, seed):
+    rng = make_rng(seed, "noise")
+    return np.asarray(rng.normal(size=n))

@@ -1,0 +1,9 @@
+"""D103: wall-clock and entropy reads in a simulation module."""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp(event):
+    return (time.time(), datetime.now(), os.urandom(4), event)

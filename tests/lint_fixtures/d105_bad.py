@@ -1,0 +1,6 @@
+"""D105: id()-keyed state in a simulation module."""
+
+
+def track(pending, request):
+    pending[id(request)] = request
+    return {id(request): 0}

@@ -1,0 +1,6 @@
+"""D105 clean: state keyed by stable request ids, not addresses."""
+
+
+def track(pending, request):
+    pending[request.request_id] = request
+    return {request.request_id: 0}

@@ -1,0 +1,5 @@
+"""E999: this file does not parse (and that must be a finding, not a crash)."""
+
+
+def broken(:
+    return

@@ -1,0 +1,8 @@
+"""H200: the test's manifest names ``Missing``, defined nowhere here."""
+
+
+class Present:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value

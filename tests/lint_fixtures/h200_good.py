@@ -1,0 +1,8 @@
+"""H200 clean: the test's manifest names ``Present``, defined below."""
+
+
+class Present:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value

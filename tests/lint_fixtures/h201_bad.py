@@ -1,0 +1,6 @@
+"""H201: on the hot-path manifest but unslotted (__dict__ per instance)."""
+
+
+class HotThing:
+    def __init__(self, value):
+        self.value = value

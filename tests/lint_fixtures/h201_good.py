@@ -1,0 +1,8 @@
+"""H201 clean: manifest class declares __slots__."""
+
+
+class HotThing:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value

@@ -1,0 +1,13 @@
+"""H202: attribute assigned outside the declared __slots__."""
+
+
+class Packet:
+    __slots__ = ("address", "is_write")
+
+    def __init__(self, address, is_write):
+        self.address = address
+        self.is_write = is_write
+        self.extra = 0  # not a slot: AttributeError at runtime
+
+    def mark(self):
+        self.cached_line = self.address >> 6

@@ -1,0 +1,32 @@
+"""H202 clean: every instance attribute is a declared slot (inheritance
+and ``dataclass(slots=True)`` both count)."""
+
+from dataclasses import dataclass
+
+
+class Packet:
+    __slots__ = ("address", "is_write")
+
+    def __init__(self, address, is_write):
+        self.address = address
+        self.is_write = is_write
+
+
+class TimedPacket(Packet):
+    __slots__ = ("issued_at",)
+
+    def __init__(self, address, is_write, issued_at):
+        super().__init__(address, is_write)
+        self.issued_at = issued_at
+
+
+@dataclass(slots=True)
+class Stats:
+    hits: int = 0
+    misses: int = 0
+
+    def record(self, hit):
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1

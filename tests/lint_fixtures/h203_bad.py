@@ -1,0 +1,16 @@
+"""H203: formatting, logging, and exception handling in a hot function."""
+
+
+class Loop:
+    __slots__ = ("events",)
+
+    def __init__(self, events):
+        self.events = events
+
+    def run(self):
+        for event in self.events:
+            print(f"dispatch {event}")
+            try:
+                event()
+            except ValueError:
+                pass

@@ -1,0 +1,21 @@
+"""H203 clean: hot loop stays slim; f-strings only on the raise path,
+formatting free elsewhere in the module."""
+
+from repro.common.errors import SimulationError
+
+
+class Loop:
+    __slots__ = ("events",)
+
+    def __init__(self, events):
+        self.events = events
+
+    def run(self):
+        for event in self.events:
+            if event is None:
+                raise SimulationError(f"null event in {self.events!r}")
+            event()
+
+
+def report(loop):  # not on the manifest: formatting is fine here
+    print(f"{len(loop.events)} events")

@@ -1,0 +1,7 @@
+"""Blanket line suppression: every rule silenced on the marked line."""
+
+import random  # repro: noqa
+
+
+def pick(values):
+    return random.choice(values)

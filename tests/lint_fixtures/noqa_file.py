@@ -1,0 +1,9 @@
+# repro: noqa-file[D101]
+"""File-level suppression: D101 silenced everywhere in this file."""
+
+import random
+from random import choice
+
+
+def pick(values):
+    return choice(values) if values else random.random()

@@ -1,0 +1,7 @@
+"""A suppression for the wrong rule must NOT silence the finding."""
+
+import random  # repro: noqa[D102]
+
+
+def pick(values):
+    return random.choice(values)

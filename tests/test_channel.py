@@ -1,7 +1,6 @@
 """Channel timing-model tests: row hits/misses, write recovery, idle
 close, bus serialization, swap blocking."""
 
-import pytest
 
 from repro.common.config import MemTimings
 from repro.common.events import EventQueue

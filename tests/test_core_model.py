@@ -1,6 +1,5 @@
 """Trace-driven core timing-model tests."""
 
-import math
 
 from repro.common.config import CoreConfig
 from repro.common.events import EventQueue

@@ -1,0 +1,250 @@
+"""The ``repro.lint`` meta-suite.
+
+Three layers:
+
+* every rule fires on its bad fixture and stays silent on its good one
+  (``tests/lint_fixtures/``),
+* the suppression / selection machinery behaves (``# repro: noqa``,
+  ``--select`` / ``--ignore``),
+* ``src/repro`` itself is lint-clean — the repo must always pass its own
+  static analysis (this is what CI enforces via ``profess lint``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import pytest
+
+from repro import cli
+from repro.lint import RULES, Finding, LintError, lint_paths, lint_sources
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+NO_HOT = frozenset()
+
+
+@dataclass(frozen=True)
+class Case:
+    """How to lint one rule's fixture pair."""
+
+    #: Module name the fixture is linted under (rule scopes depend on it).
+    module: str
+    #: Hot-class manifest entries (qualnames, relative to ``module``).
+    bad_classes: tuple[str, ...] = ()
+    good_classes: tuple[str, ...] = ()
+    #: Hot-function manifest entries (qualnames, relative to ``module``).
+    bad_functions: tuple[str, ...] = ()
+    good_functions: tuple[str, ...] = ()
+
+    def manifests(self, kind: str) -> tuple[frozenset, frozenset]:
+        classes = self.bad_classes if kind == "bad" else self.good_classes
+        functions = self.bad_functions if kind == "bad" else self.good_functions
+        return (
+            frozenset(f"{self.module}.{name}" for name in classes),
+            frozenset(f"{self.module}.{name}" for name in functions),
+        )
+
+
+CASES: dict[str, Case] = {
+    "D101": Case(module="repro.analysis.fixture"),
+    "D102": Case(module="repro.analysis.fixture"),
+    "D103": Case(module="repro.sim.fixture"),
+    "D104": Case(module="repro.sim.fixture"),
+    "D105": Case(module="repro.sim.fixture"),
+    "H200": Case(
+        module="repro.sim.fixture",
+        bad_classes=("Missing",),
+        good_classes=("Present",),
+    ),
+    "H201": Case(
+        module="repro.sim.fixture",
+        bad_classes=("HotThing",),
+        good_classes=("HotThing",),
+    ),
+    "H202": Case(module="repro.sim.fixture"),
+    "H203": Case(
+        module="repro.sim.fixture",
+        bad_functions=("Loop.run",),
+        good_functions=("Loop.run",),
+    ),
+    "C301": Case(module="repro.analysis.fixture"),
+    "C302": Case(module="repro.analysis.fixture"),
+    "C303": Case(module="repro.analysis.fixture"),
+    "C304": Case(module="repro.common.fixture"),
+    "E999": Case(module="repro.analysis.fixture"),
+}
+
+
+def lint_fixture(
+    name: str,
+    module: str,
+    select: Optional[str] = None,
+    ignore: Optional[str] = None,
+    hot_classes: frozenset = NO_HOT,
+    hot_functions: frozenset = NO_HOT,
+) -> list[Finding]:
+    path = FIXTURES / f"{name}.py"
+    return lint_sources(
+        {module: (str(path), path.read_text(encoding="utf-8"))},
+        select=select,
+        ignore=ignore,
+        hot_classes=hot_classes,
+        hot_functions=hot_functions,
+    )
+
+
+def lint_case(rule: str, kind: str) -> list[Finding]:
+    case = CASES[rule]
+    hot_classes, hot_functions = case.manifests(kind)
+    return lint_fixture(
+        f"{rule.lower()}_{kind}",
+        case.module,
+        select=rule,
+        hot_classes=hot_classes,
+        hot_functions=hot_functions,
+    )
+
+
+class TestRegistry:
+    def test_every_rule_has_a_case(self):
+        assert set(CASES) == set(RULES)
+
+    def test_every_case_has_fixture_files(self):
+        for rule in RULES:
+            assert (FIXTURES / f"{rule.lower()}_bad.py").exists(), rule
+            if rule != "E999":  # a "good" parse failure cannot exist
+                assert (FIXTURES / f"{rule.lower()}_good.py").exists(), rule
+
+
+class TestRulesFire:
+    """Each rule fires on its bad fixture and is silent on its good one."""
+
+    @pytest.mark.parametrize("rule", sorted(RULES))
+    def test_bad_fixture_fires(self, rule):
+        findings = lint_case(rule, "bad")
+        assert findings, f"{rule} did not fire on its bad fixture"
+        assert all(f.rule == rule for f in findings)
+        assert all(f.line >= 1 and f.col >= 1 for f in findings)
+
+    @pytest.mark.parametrize("rule", sorted(set(RULES) - {"E999"}))
+    def test_good_fixture_silent(self, rule):
+        findings = lint_case(rule, "good")
+        assert findings == [], (
+            f"{rule} fired on its good fixture: "
+            + "; ".join(f.render() for f in findings)
+        )
+
+    def test_bad_fixture_counts(self):
+        # Spot-check multiplicity: every banned site is reported, not
+        # just the first one per file.
+        assert len(lint_case("D101", "bad")) == 2  # import + from-import
+        assert len(lint_case("D103", "bad")) == 3  # time, datetime, urandom
+        assert len(lint_case("D104", "bad")) == 2  # for + comprehension
+        assert len(lint_case("D105", "bad")) == 2  # subscript + dict key
+        assert len(lint_case("H202", "bad")) == 2  # __init__ + method
+        assert len(lint_case("H203", "bad")) == 3  # print, f-string, try
+        assert len(lint_case("C302", "bad")) == 3  # list, dict, set
+        assert len(lint_case("C303", "bad")) == 2  # local class + builtin
+
+
+class TestSuppressions:
+    def test_line_noqa_suppresses_named_rule(self):
+        assert lint_fixture("noqa_line", "repro.analysis.fixture") == []
+
+    def test_blanket_noqa_suppresses_everything_on_line(self):
+        assert lint_fixture("noqa_blanket", "repro.analysis.fixture") == []
+
+    def test_file_noqa_suppresses_rule_everywhere(self):
+        assert lint_fixture("noqa_file", "repro.analysis.fixture") == []
+
+    def test_wrong_rule_noqa_does_not_suppress(self):
+        findings = lint_fixture("noqa_wrong_rule", "repro.analysis.fixture")
+        assert [f.rule for f in findings] == ["D101"]
+
+
+class TestSelection:
+    def test_select_family_prefix(self):
+        assert lint_fixture("d101_bad", "repro.analysis.fixture", select="D")
+        assert (
+            lint_fixture("d101_bad", "repro.analysis.fixture", select="C")
+            == []
+        )
+
+    def test_ignore_specific_rule(self):
+        assert (
+            lint_fixture("d101_bad", "repro.analysis.fixture", ignore="D101")
+            == []
+        )
+
+    def test_rng_module_is_exempt(self):
+        # The one module allowed to import random: repro.common.rng.
+        assert (
+            lint_fixture("d101_bad", "repro.common.rng", select="D101") == []
+        )
+
+    def test_sim_rules_only_in_sim_scope(self):
+        # The same set-iteration code outside sim/ packages is legal.
+        assert lint_fixture("d104_bad", "repro.analysis.fixture") == []
+
+
+class TestFindingShape:
+    def test_render_and_to_dict(self):
+        finding = lint_case("C301", "bad")[0]
+        assert finding.rule == "C301"
+        rendered = finding.render()
+        assert f":{finding.line}:" in rendered and "C301" in rendered
+        payload = finding.to_dict()
+        assert payload["rule"] == "C301"
+        assert payload["path"].endswith("c301_bad.py")
+        assert isinstance(payload["line"], int)
+
+
+class TestCli:
+    def test_findings_exit_1_and_json(self, capsys):
+        code = cli.main(
+            ["lint", str(FIXTURES / "c301_bad.py"), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] >= 1
+        assert any(f["rule"] == "C301" for f in payload["findings"])
+
+    def test_clean_file_exits_0(self, capsys):
+        code = cli.main(["lint", str(FIXTURES / "c301_good.py")])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_select_filters_cli(self, capsys):
+        code = cli.main(
+            ["lint", str(FIXTURES / "c301_bad.py"), "--select", "D"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_missing_path_exits_2(self, capsys):
+        code = cli.main(["lint", str(FIXTURES / "does_not_exist.py")])
+        assert code == 2
+        assert "lint:" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert cli.main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_lint_error_from_api(self):
+        with pytest.raises(LintError):
+            lint_paths([FIXTURES / "does_not_exist.py"])
+
+
+class TestRepoClean:
+    def test_src_repro_is_lint_clean(self):
+        findings = lint_paths([SRC])
+        assert findings == [], "src/repro must stay lint-clean:\n" + "\n".join(
+            f.render() for f in findings
+        )

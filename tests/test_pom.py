@@ -1,6 +1,5 @@
 """PoM policy tests: competing counters, epochs, prohibit mode."""
 
-import pytest
 
 from repro.cache.stc import STCEntry
 from repro.common.config import PoMConfig, paper_quad_core, with_overrides

@@ -66,6 +66,71 @@ class TestViolationsDetected:
             validate_controller(controller)
 
 
+class TestValidateEvery:
+    """Periodic in-run auditing (``validate_every`` / ``--validate-every``)."""
+
+    def _driver(self, validate_every):
+        traces = [("soplex", synthesize_trace("soplex", 2000, scale=SCALE, seed=0))]
+        return SimulationDriver(
+            CONFIG, "mdm", traces, seed=3, validate_every=validate_every
+        )
+
+    def test_clean_run_unaffected(self):
+        baseline = self._driver(0).run()
+        audited = self._driver(5000).run()
+        assert audited.cycles == baseline.cycles
+        assert audited.total_swaps == baseline.total_swaps
+        assert audited.total_requests == baseline.total_requests
+
+    def test_catches_injected_st_corruption(self):
+        driver = self._driver(2000)
+        controller = driver.controller
+
+        def corrupt(now):
+            # Break the ST permutation of the first touched group (or
+            # group 0, materialized on demand): duplicate one location.
+            groups = controller.st.touched_groups()
+            entry = controller.st.entry(groups[0] if groups else 0)
+            entry.loc_of_slot[0] = entry.loc_of_slot[1]
+
+        driver.events.schedule(1000, corrupt)
+        with pytest.raises(ValidationError):
+            driver.run()
+
+    def test_corruption_after_run_end_not_audited(self):
+        # The audit stops re-arming once the measured run ends: a clean
+        # run that ends before the next audit tick completes normally.
+        driver = self._driver(10**9)
+        result = driver.run()
+        assert result.cycles > 0
+
+    def test_negative_rejected(self):
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            self._driver(-1)
+
+    def test_runner_plumbs_flag_into_specs(self):
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(scale=128, validate_every=777)
+        assert runner.spec_single("soplex", "mdm").validate_every == 777
+        assert runner.spec_alone("soplex", "mdm").validate_every == 777
+        assert runner.spec_mix(["soplex", "milc"], "mdm").validate_every == 777
+
+    def test_cache_key_excludes_validate_every(self):
+        # Diagnostic-only: a validated result must be interchangeable
+        # with (and served from the cache of) an unvalidated one.
+        from dataclasses import replace
+
+        from repro.experiments.runner import ExperimentRunner
+
+        spec = ExperimentRunner(scale=128).spec_single("soplex", "mdm")
+        assert (
+            replace(spec, validate_every=123).cache_key() == spec.cache_key()
+        )
+
+
 class TestFuzz:
     """Random mixes and policies keep every invariant (mini fuzz)."""
 
