@@ -1,0 +1,27 @@
+"""Trace-decode front end: legacy per-element loop vs batched numpy.
+
+Quantifies the DESIGN.md §12 decode win outside the kernel benchmark:
+the same trace is decoded by the seed's per-element reference
+implementation and by :class:`repro.traces.decode.TraceDecoder`, and the
+two must agree element for element (the operational determinism check).
+Prints the measured speedup for row-by-row comparison with the
+``profess perf --decode`` section of ``BENCH_kernel.json``.
+"""
+
+from repro.perf.decode_bench import run_decode_benchmark
+
+
+def test_decode_benchmark():
+    """Time both front ends and assert they decode identically."""
+    payload = run_decode_benchmark(quick=False, repeats=3)
+    print(
+        f"\ndecode {payload['requests']:,} requests "
+        f"({payload['program']}, ipc {payload['issue_ipc']}): "
+        f"legacy {payload['legacy_seconds']:.4f}s, "
+        f"batched {payload['batched_seconds']:.4f}s, "
+        f"{payload['speedup']:.1f}x"
+    )
+    assert payload["identical"], (
+        "batched decoder diverged from the legacy front end"
+    )
+    assert payload["batched_seconds"] > 0

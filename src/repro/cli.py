@@ -203,7 +203,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run each scenario once with per-component timing "
         "(instrumented event loop; slower) and print the breakdown",
     )
+    perf_parser.add_argument(
+        "--decode",
+        action="store_true",
+        help="also benchmark trace decoding itself: the legacy "
+        "per-element front end vs the batched numpy decoder "
+        "(before/after evidence for DESIGN.md Sec. 12)",
+    )
+    perf_parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append a markdown delta-vs-baseline table to FILE (CI "
+        "writes this to $GITHUB_STEP_SUMMARY)",
+    )
     perf_parser.add_argument("--verbose", action="store_true")
+
+    golden_parser = subparsers.add_parser(
+        "golden",
+        help="regenerate the golden determinism scenarios and digest them",
+        description="Run every golden scenario (tests/golden/) and print "
+        "its SHA-256 digest.  --check diffs the regenerated results "
+        "byte-for-byte against the checked-in blobs; --out writes a "
+        "digest JSON for the CI cross-version determinism gate.",
+    )
+    golden_parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="golden blob directory to verify against (e.g. tests/golden)",
+    )
+    golden_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write {python, scenarios: {name: sha256}} JSON to FILE",
+    )
 
     lint_parser = subparsers.add_parser(
         "lint",
@@ -370,6 +408,8 @@ def _perf(args: argparse.Namespace) -> int:
 
     from repro.perf.bench import (
         compare_to_baseline,
+        compatibility_warnings,
+        markdown_summary,
         run_kernel_benchmark,
         standard_scenarios,
         write_bench_json,
@@ -387,6 +427,21 @@ def _perf(args: argparse.Namespace) -> int:
             f"{scenario['events_per_sec']:>11,.0f} events/sec  "
             f"{scenario['requests_per_sec']:>10,.0f} requests/sec"
         )
+
+    if args.decode:
+        from repro.perf.decode_bench import run_decode_benchmark
+
+        decode = run_decode_benchmark(
+            quick=args.quick, repeats=args.repeats, progress=progress
+        )
+        payload["decode"] = decode
+        print(
+            f"decode  {decode['requests']:>10,} requests  "
+            f"legacy {decode['legacy_seconds']:.4f}s  "
+            f"batched {decode['batched_seconds']:.4f}s  "
+            f"{decode['speedup']:.1f}x (identical={decode['identical']})"
+        )
+
     write_bench_json(payload, args.out)
     print(f"wrote {args.out}")
 
@@ -398,8 +453,18 @@ def _perf(args: argparse.Namespace) -> int:
             for label, calls, seconds in profile.component_table()[:12]:
                 print(f"  {label:<40} {calls:>9,} calls  {seconds:>8.3f}s")
 
+    baseline = None
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())
+
+    if args.summary is not None:
+        with args.summary.open("a") as handle:
+            handle.write(markdown_summary(payload, baseline))
+        print(f"appended summary to {args.summary}")
+
+    if baseline is not None:
+        for warning in compatibility_warnings(payload, baseline):
+            print(f"PERF WARNING: {warning}", file=sys.stderr)
         failures = compare_to_baseline(
             payload, baseline, min_ratio=args.min_ratio
         )
@@ -408,6 +473,38 @@ def _perf(args: argparse.Namespace) -> int:
                 print(f"PERF REGRESSION: {failure}", file=sys.stderr)
             return 1
         print(f"within {args.min_ratio:.2f}x of baseline {args.baseline}")
+    return 0
+
+
+def _golden(args: argparse.Namespace) -> int:
+    import json
+    import platform
+
+    from repro.sim.golden import check_against_blobs, golden_digests
+
+    digests = golden_digests()
+    for name, digest in sorted(digests.items()):
+        print(f"{name:<16} sha256:{digest}")
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(
+                {
+                    "python": platform.python_version(),
+                    "scenarios": digests,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.out}")
+    if args.check is not None:
+        problems = check_against_blobs(args.check)
+        if problems:
+            for name, problem in sorted(problems.items()):
+                print(f"GOLDEN MISMATCH: {name}: {problem}", file=sys.stderr)
+            return 1
+        print(f"all scenarios byte-identical to {args.check}")
     return 0
 
 
@@ -472,6 +569,8 @@ def main(argv: list[str] | None = None) -> int:
         return _characterize(args)
     if args.command == "perf":
         return _perf(args)
+    if args.command == "golden":
+        return _golden(args)
     if args.command == "lint":
         return _lint(args)
     return _run(args)

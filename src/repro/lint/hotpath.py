@@ -39,6 +39,8 @@ HOT_CLASSES: frozenset[str] = frozenset(
         "repro.mem.request.MemRequest",
         "repro.mem.scheduler.FrFcfsCapScheduler",
         "repro.policies.base.AccessContext",
+        "repro.traces.decode.DecodedChunk",
+        "repro.traces.decode.TraceDecoder",
     }
 )
 
@@ -51,6 +53,7 @@ HOT_FUNCTIONS: frozenset[str] = frozenset(
         "repro.common.events.EventQueue.step",
         "repro.cpu.core_model.TraceCore._dispatch",
         "repro.cpu.core_model.TraceCore._issue_next",
+        "repro.cpu.core_model.TraceCore._refill",
         "repro.hybrid.memory.HybridMemoryController._serve",
         "repro.hybrid.memory.HybridMemoryController.access",
         "repro.mem.channel.Channel._issue",

@@ -12,15 +12,21 @@ from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
     KernelBenchResult,
     compare_to_baseline,
+    compatibility_warnings,
+    markdown_summary,
     run_kernel_benchmark,
     standard_scenarios,
 )
+from repro.perf.decode_bench import run_decode_benchmark
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "KernelBenchResult",
     "KernelProfile",
     "compare_to_baseline",
+    "compatibility_warnings",
+    "markdown_summary",
+    "run_decode_benchmark",
     "run_kernel_benchmark",
     "standard_scenarios",
 ]

@@ -160,6 +160,104 @@ def write_bench_json(payload: dict, path: Path) -> None:
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
 
 
+def _python_minor(version: object) -> str:
+    """``"3.12.4"`` -> ``"3.12"`` (tolerates junk: returns it verbatim)."""
+    parts = str(version).split(".")
+    return ".".join(parts[:2])
+
+
+def compatibility_warnings(payload: dict, baseline: dict) -> list[str]:
+    """Non-fatal comparability problems between a run and its baseline.
+
+    ``BENCH_kernel.json`` records the host ``python``/``machine``, but
+    the regression gate historically ignored them — so a baseline
+    recorded under one interpreter was silently compared against runs of
+    another, where a throughput delta may be the interpreter's, not the
+    kernel's.  Warns (never fails) on a Python *minor*-version mismatch,
+    and on a machine-architecture mismatch for the same reason.
+    """
+    warnings: list[str] = []
+    current_python = payload.get("python")
+    baseline_python = baseline.get("python")
+    if (
+        current_python
+        and baseline_python
+        and _python_minor(current_python) != _python_minor(baseline_python)
+    ):
+        warnings.append(
+            f"baseline was recorded on Python {baseline_python} but this "
+            f"run is Python {current_python}: events/sec deltas may "
+            "reflect the interpreter, not the kernel"
+        )
+    current_machine = payload.get("machine")
+    baseline_machine = baseline.get("machine")
+    if (
+        current_machine
+        and baseline_machine
+        and current_machine != baseline_machine
+    ):
+        warnings.append(
+            f"baseline was recorded on {baseline_machine!r} but this run "
+            f"is {current_machine!r}: rates are not directly comparable"
+        )
+    return warnings
+
+
+def markdown_summary(payload: dict, baseline: Optional[dict] = None) -> str:
+    """A markdown delta-vs-baseline table (the CI ``$GITHUB_STEP_SUMMARY``).
+
+    One row per scenario with events/sec, requests/sec, and — when the
+    scenario exists in ``baseline`` — the throughput ratio against it.
+    Compatibility warnings are appended so a cross-interpreter
+    comparison is flagged right in the PR summary.
+    """
+    mode = "quick" if payload.get("quick") else "full"
+    lines = [
+        "## Kernel benchmark "
+        f"({mode}, best of {payload.get('repeats', '?')} repeats, "
+        f"Python {payload.get('python', '?')})",
+        "",
+        "| scenario | events/sec | requests/sec | baseline events/sec "
+        "| delta |",
+        "| --- | ---: | ---: | ---: | ---: |",
+    ]
+    baseline_rates = {
+        scenario["name"]: scenario["events_per_sec"]
+        for scenario in (baseline or {}).get("scenarios", [])
+    }
+    for scenario in payload.get("scenarios", []):
+        reference = baseline_rates.get(scenario["name"])
+        if reference:
+            baseline_cell = f"{reference:,.0f}"
+            delta_cell = f"{scenario['events_per_sec'] / reference:.2f}x"
+        else:
+            baseline_cell = delta_cell = "—"
+        requests_rate = scenario.get("requests_per_sec")
+        requests_cell = (
+            f"{requests_rate:,.0f}" if requests_rate is not None else "—"
+        )
+        lines.append(
+            f"| {scenario['name']} "
+            f"| {scenario['events_per_sec']:,.0f} "
+            f"| {requests_cell} "
+            f"| {baseline_cell} | {delta_cell} |"
+        )
+    decode = payload.get("decode")
+    if decode:
+        lines += [
+            "",
+            f"Trace decode ({decode['requests']:,} requests): "
+            f"legacy {decode['legacy_seconds']:.4f}s -> batched "
+            f"{decode['batched_seconds']:.4f}s "
+            f"(**{decode['speedup']:.1f}x**, identical="
+            f"{decode['identical']})",
+        ]
+    if baseline is not None:
+        for warning in compatibility_warnings(payload, baseline):
+            lines += ["", f"> :warning: {warning}"]
+    return "\n".join(lines) + "\n"
+
+
 def compare_to_baseline(
     payload: dict, baseline: dict, min_ratio: float = 0.7
 ) -> list[str]:

@@ -1,0 +1,123 @@
+"""Before/after benchmark for the trace-decode front end.
+
+The batched decoder (:mod:`repro.traces.decode`, DESIGN.md §12) replaced
+a per-element Python conversion loop in ``TraceCore.__init__``.  This
+module keeps that legacy loop alive as a reference implementation and
+measures both against the same synthesized trace, so the decode win
+stays quantified (``profess perf --decode``) and the two front ends are
+re-proven to produce identical Python values on every run — the
+operational half of the determinism argument.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional
+
+from repro.cpu.trace import Trace
+from repro.traces.decode import TraceDecoder
+
+#: Trace used for the decode benchmark: long enough that per-element
+#: interpreter cost dominates timer noise.
+DECODE_BENCH_PROGRAM = "zeusmp"
+DECODE_BENCH_REQUESTS = 200_000
+DECODE_BENCH_QUICK_REQUESTS = 50_000
+
+
+def legacy_decode(
+    trace: Trace, issue_ipc: float
+) -> tuple[list, list, list, list]:
+    """The seed's per-element front end, verbatim (the "before").
+
+    Returns ``(compute_cycles, lines, writes, retired)`` where
+    ``retired[i]`` is the instructions retired by request ``i`` alone
+    (``gap + 1``).
+    """
+    gaps = [int(gap) for gap in trace.gaps]
+    lines = [int(line) for line in trace.lines]
+    writes = [bool(write) for write in trace.writes]
+    cycles = [
+        math.ceil(gap / issue_ipc) if gap > 0 else 0 for gap in gaps
+    ]
+    retired = [gap + 1 for gap in gaps]
+    return cycles, lines, writes, retired
+
+
+def batched_decode(
+    trace: Trace, issue_ipc: float
+) -> tuple[list, list, list, list]:
+    """The numpy-batched front end (the "after"), fully materialized.
+
+    Concatenates every chunk into whole-trace lists shaped exactly like
+    :func:`legacy_decode`'s output so the two are directly comparable.
+    """
+    decoder = TraceDecoder(trace, issue_ipc)
+    cycles: list = []
+    lines: list = []
+    writes: list = []
+    retired: list = []
+    for index in range(decoder.num_chunks):
+        chunk = decoder.chunk(index)
+        cycles.extend(chunk.cycles)
+        lines.extend(chunk.lines)
+        writes.extend(chunk.writes)
+        prefix = chunk.retired_prefix
+        retired.extend(
+            prefix[i + 1] - prefix[i] for i in range(chunk.length)
+        )
+    return cycles, lines, writes, retired
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_decode_benchmark(
+    quick: bool = False,
+    repeats: int = 3,
+    issue_ipc: float = 2.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Time legacy vs batched decoding of one standard trace.
+
+    Returns a JSON-compatible payload (merged into ``BENCH_kernel.json``
+    under ``"decode"``).  ``identical`` asserts the two front ends
+    produced element-for-element equal Python values; a False here means
+    the batched path broke the determinism contract.
+    """
+    from repro.traces.generator import synthesize_trace
+
+    requests = DECODE_BENCH_QUICK_REQUESTS if quick else DECODE_BENCH_REQUESTS
+    trace = synthesize_trace(
+        DECODE_BENCH_PROGRAM, requests, scale=128, seed=0
+    )
+    legacy_seconds = _best_of(lambda: legacy_decode(trace, issue_ipc), repeats)
+    batched_seconds = _best_of(
+        lambda: batched_decode(trace, issue_ipc), repeats
+    )
+    identical = legacy_decode(trace, issue_ipc) == batched_decode(
+        trace, issue_ipc
+    )
+    if progress is not None:
+        progress(
+            f"  decode {requests:,} requests: legacy {legacy_seconds:.4f}s, "
+            f"batched {batched_seconds:.4f}s"
+        )
+    return {
+        "program": DECODE_BENCH_PROGRAM,
+        "requests": requests,
+        "repeats": repeats,
+        "issue_ipc": issue_ipc,
+        "legacy_seconds": legacy_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": (
+            legacy_seconds / batched_seconds if batched_seconds > 0 else 0.0
+        ),
+        "identical": identical,
+    }

@@ -16,13 +16,21 @@ from repro.traces.patterns import (
 )
 from repro.traces.spec import PROGRAM_PROFILES, ProgramProfile
 from repro.traces.generator import synthesize_trace
+from repro.traces.decode import (
+    DEFAULT_CHUNK_REQUESTS,
+    DecodedChunk,
+    TraceDecoder,
+)
 
 __all__ = [
     "ChaseComponent",
+    "DEFAULT_CHUNK_REQUESTS",
+    "DecodedChunk",
     "HotSetComponent",
     "PROGRAM_PROFILES",
     "PatternComponent",
     "ProgramProfile",
     "StreamComponent",
+    "TraceDecoder",
     "synthesize_trace",
 ]

@@ -1,0 +1,155 @@
+"""Batched trace decoding: numpy streams -> chunked Python-list views.
+
+The core model consumes a trace one request at a time, millions of times
+per simulation, so the *representation* it reads from decides the
+interpreter cost per request.  Extracting numpy scalars element-wise is
+an order of magnitude slower than list indexing, and the seed's fix —
+materializing the whole trace as Python lists up front — paid a slow
+per-element conversion loop at construction and held four full-length
+lists of boxed objects alive for the entire run.
+
+:class:`TraceDecoder` replaces both halves:
+
+* **Vectorized decode.**  The gap stream is converted to a per-request
+  *compute-cycle table* (``ceil(gap / issue_ipc)``) and a *retired
+  prefix sum* (cumulative ``gap + 1``) with whole-array numpy
+  arithmetic; lines and read/write flags are cast once.  No Python-level
+  per-element work happens anywhere.
+* **Chunked refill.**  Python-object views are materialized one chunk
+  (default 64 Ki requests) at a time via C-level ``ndarray.tolist()``,
+  so resident boxed objects stay bounded on arbitrarily long traces
+  while the hot path keeps plain-list indexing speed.  Chunk 0 is cached
+  because every workload-repetition pass (Section 4.2) restarts there.
+
+Determinism: float64 division and ``ceil`` here are IEEE-identical to
+the scalar ``math.ceil(gap / issue_ipc)`` the seed computed, and
+``tolist()`` yields the same Python ints/bools as per-element ``int()``
+/ ``bool()`` casts, so decoded simulations are byte-identical to the
+golden blobs (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.common.errors import TraceError
+
+if TYPE_CHECKING:
+    from repro.cpu.trace import Trace
+
+#: Default requests decoded per chunk.  64 Ki keeps every benchmark and
+#: figure trace in a single chunk (refill never fires mid-pass) while
+#: bounding resident boxed objects to a few MB on longer traces.
+DEFAULT_CHUNK_REQUESTS = 65536
+
+
+class DecodedChunk:
+    """One contiguous slice of a trace, decoded to plain Python lists.
+
+    ``cycles[i]``, ``lines[i]`` and ``writes[i]`` describe request
+    ``start + i`` of the trace; ``retired_prefix`` has one extra leading
+    element so ``retired_prefix[i]`` is the instructions retired by the
+    first ``i`` requests of the chunk (``retired_prefix[length]`` is the
+    whole chunk's total).
+    """
+
+    __slots__ = ("start", "length", "cycles", "lines", "writes", "retired_prefix")
+
+    def __init__(
+        self,
+        start: int,
+        cycles: list,
+        lines: list,
+        writes: list,
+        retired_prefix: list,
+    ) -> None:
+        self.start = start
+        self.length = len(cycles)
+        self.cycles = cycles
+        self.lines = lines
+        self.writes = writes
+        self.retired_prefix = retired_prefix
+
+
+class TraceDecoder:
+    """Decodes one trace into :class:`DecodedChunk` views for a core.
+
+    The numpy tables (compute cycles, retired prefix, lines, writes) are
+    formed once, vectorized; :meth:`chunk` materializes list views on
+    demand.  A decoder is bound to one ``issue_ipc`` because the
+    compute-cycle table depends on it.
+    """
+
+    __slots__ = (
+        "issue_ipc",
+        "chunk_requests",
+        "num_requests",
+        "num_chunks",
+        "_cycles",
+        "_lines",
+        "_writes",
+        "_retired_cum",
+        "_first_chunk",
+    )
+
+    def __init__(
+        self,
+        trace: "Trace",
+        issue_ipc: float,
+        chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+    ) -> None:
+        if issue_ipc <= 0:
+            raise TraceError("issue_ipc must be positive")
+        if chunk_requests < 1:
+            raise TraceError("chunk_requests must be >= 1")
+        self.issue_ipc = issue_ipc
+        self.chunk_requests = chunk_requests
+        gaps = np.asarray(trace.gaps, dtype=np.int64)
+        self._lines = np.asarray(trace.lines, dtype=np.int64)
+        self._writes = np.asarray(trace.writes, dtype=bool)
+        self.num_requests = len(gaps)
+        if self.num_requests == 0:
+            raise TraceError("cannot decode an empty trace")
+        self.num_chunks = -(-self.num_requests // chunk_requests)
+        # Compute-cycle table: identical to the scalar
+        # ``math.ceil(gap / issue_ipc) if gap > 0 else 0`` — int64 ->
+        # float64 conversion is exact for any realistic gap and the
+        # float64 divide/ceil match Python's own bit for bit.
+        self._cycles = np.ceil(gaps / issue_ipc).astype(np.int64)
+        # Retired prefix: element i is the instructions retired once
+        # requests 0..i have issued (each retires its gap + itself).
+        self._retired_cum = np.cumsum(gaps + 1)
+        self._first_chunk: Optional[DecodedChunk] = None
+
+    def chunk(self, index: int) -> DecodedChunk:
+        """Materialize (or return the cached) chunk ``index``."""
+        if index == 0 and self._first_chunk is not None:
+            return self._first_chunk
+        if not 0 <= index < self.num_chunks:
+            raise TraceError(
+                f"chunk index {index} out of range 0..{self.num_chunks - 1}"
+            )
+        start = index * self.chunk_requests
+        end = min(start + self.chunk_requests, self.num_requests)
+        retired_base = int(self._retired_cum[start - 1]) if start else 0
+        prefix = (self._retired_cum[start:end] - retired_base).tolist()
+        prefix.insert(0, 0)
+        chunk = DecodedChunk(
+            start=start,
+            cycles=self._cycles[start:end].tolist(),
+            lines=self._lines[start:end].tolist(),
+            writes=self._writes[start:end].tolist(),
+            retired_prefix=prefix,
+        )
+        if index == 0:
+            # Every replay pass restarts at chunk 0: keep it resident so
+            # workload repetition never re-decodes.
+            self._first_chunk = chunk
+        return chunk
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions retired by one full pass of the trace."""
+        return int(self._retired_cum[-1])

@@ -133,6 +133,59 @@ class TestReportCommand:
         assert str(args.output) == "E.md"
 
 
+class TestGoldenCommand:
+    def test_parse_defaults(self):
+        args = build_parser().parse_args(["golden"])
+        assert args.command == "golden"
+        assert args.check is None
+        assert args.out is None
+
+    def test_check_passes_and_writes_digests(self, tmp_path, capsys):
+        import json
+        from pathlib import Path
+
+        out = tmp_path / "digests.json"
+        golden_dir = Path(__file__).parent / "golden"
+        code = main(
+            ["golden", "--check", str(golden_dir), "--out", str(out)]
+        )
+        assert code == 0
+        assert "byte-identical" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"python", "scenarios"}
+        assert all(
+            len(digest) == 64 for digest in payload["scenarios"].values()
+        )
+
+    def test_check_fails_on_mismatching_blobs(self, tmp_path, capsys):
+        (tmp_path / "single_pom.json").write_text("{}\n")
+        code = main(["golden", "--check", str(tmp_path)])
+        assert code == 1
+        assert "GOLDEN MISMATCH" in capsys.readouterr().err
+
+
+class TestPerfSummaryFlag:
+    def test_summary_appends_markdown_table(self, tmp_path, capsys):
+        summary = tmp_path / "summary.md"
+        summary.write_text("# existing\n")
+        code = main(
+            [
+                "perf",
+                "--quick",
+                "--repeats",
+                "1",
+                "--out",
+                str(tmp_path / "bench.json"),
+                "--summary",
+                str(summary),
+            ]
+        )
+        assert code == 0
+        text = summary.read_text()
+        assert text.startswith("# existing\n")
+        assert "| single |" in text and "| multi |" in text
+
+
 class TestTraceCommands:
     def test_trace_roundtrip(self, tmp_path, capsys):
         out = tmp_path / "t.npz"

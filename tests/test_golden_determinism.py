@@ -17,47 +17,25 @@ from pathlib import Path
 
 import pytest
 
-from repro.common.config import paper_quad_core, paper_single_core
-from repro.sim.engine import SimulationDriver
-from repro.traces.generator import synthesize_trace
+from repro.sim.golden import (
+    GOLDEN_SCENARIOS,
+    check_against_blobs,
+    golden_digests,
+    golden_text,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 
-def _single_pom_driver():
-    config = paper_single_core(scale=128)
-    traces = [("zeusmp", synthesize_trace("zeusmp", 1500, scale=128, seed=0))]
-    return SimulationDriver(config, "pom", traces, seed=0)
-
-
-def _quad_profess_driver():
-    config = paper_quad_core(scale=128)
-    traces = [
-        ("zeusmp", synthesize_trace("zeusmp", 1200, scale=128, seed=0)),
-        ("leslie3d", synthesize_trace("leslie3d", 800, scale=128, seed=1)),
-        ("mcf", synthesize_trace("mcf", 800, scale=128, seed=2)),
-        ("libquantum", synthesize_trace("libquantum", 800, scale=128, seed=3)),
-    ]
-    return SimulationDriver(config, "profess", traces, seed=0)
-
-
-SCENARIOS = {
-    "single_pom": _single_pom_driver,
-    "quad_profess": _quad_profess_driver,
-}
-
-
-@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
 def test_result_matches_golden_blob(name):
-    golden_text = (GOLDEN_DIR / f"{name}.json").read_text()
-    result = SCENARIOS[name]().run()
-    # Serialize exactly as the capture script did so the comparison is
-    # byte-for-byte: any drift in values OR in to_dict() structure fails.
-    current_text = (
-        json.dumps(result.to_dict(), indent=1, sort_keys=True) + "\n"
-    )
-    if current_text != golden_text:
-        golden = json.loads(golden_text)
+    expected = (GOLDEN_DIR / f"{name}.json").read_text()
+    # golden_text serializes exactly as the capture script did so the
+    # comparison is byte-for-byte: any drift in values OR in to_dict()
+    # structure fails.
+    current_text = golden_text(name)
+    if current_text != expected:
+        golden = json.loads(expected)
         current = json.loads(current_text)
         diffs = _dict_diff(golden, current)
         pytest.fail(
@@ -65,6 +43,28 @@ def test_result_matches_golden_blob(name):
             f"({len(diffs)} differing paths):\n"
             + "\n".join(diffs[:20])
         )
+
+
+def test_check_against_blobs_passes_on_checked_in_goldens():
+    assert check_against_blobs(GOLDEN_DIR) == {}
+
+
+def test_check_against_blobs_reports_missing_and_differing(tmp_path):
+    problems = check_against_blobs(tmp_path)
+    assert set(problems) == set(GOLDEN_SCENARIOS)
+    assert all("missing blob" in problem for problem in problems.values())
+    (tmp_path / "single_pom.json").write_text("{}\n")
+    problems = check_against_blobs(tmp_path)
+    assert "differs" in problems["single_pom"]
+
+
+def test_golden_digests_cover_every_scenario_and_are_stable():
+    first = golden_digests()
+    assert set(first) == set(GOLDEN_SCENARIOS)
+    assert all(len(digest) == 64 for digest in first.values())
+    # Two in-process regenerations must agree — the weak, same-version
+    # form of the CI cross-version determinism gate.
+    assert golden_digests() == first
 
 
 def _dict_diff(expected, actual, path=""):

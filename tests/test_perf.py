@@ -1,5 +1,6 @@
 """Perf-harness tests: KernelProfile accounting, the benchmark payload,
-the baseline regression gate, and the instrumented event loop."""
+the baseline regression gate, the markdown summary, the decode
+before/after benchmark, and the instrumented event loop."""
 
 import json
 
@@ -7,10 +8,13 @@ from repro.common.config import paper_single_core
 from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
     compare_to_baseline,
+    compatibility_warnings,
+    markdown_summary,
     run_scenario,
     standard_scenarios,
     write_bench_json,
 )
+from repro.perf.decode_bench import run_decode_benchmark
 from repro.perf.profile import KernelProfile
 from repro.sim.engine import SimulationDriver
 from repro.traces.generator import synthesize_trace
@@ -124,3 +128,71 @@ class TestBaselineGate:
         baseline["scenarios"] = baseline["scenarios"][:1]  # drop "multi"
         current = _payload(single=100_000.0, multi=1.0)
         assert compare_to_baseline(current, baseline) == []
+
+
+class TestCompatibilityWarnings:
+    def test_warns_on_python_minor_mismatch(self):
+        current = dict(_payload(), python="3.12.4")
+        baseline = dict(_payload(), python="3.10.14")
+        warnings = compatibility_warnings(current, baseline)
+        assert len(warnings) == 1
+        assert "3.10.14" in warnings[0] and "3.12.4" in warnings[0]
+
+    def test_silent_on_same_minor_different_patch(self):
+        current = dict(_payload(), python="3.12.4")
+        baseline = dict(_payload(), python="3.12.1")
+        assert compatibility_warnings(current, baseline) == []
+
+    def test_silent_when_baseline_does_not_record_python(self):
+        # The checked-in floor baseline predates the python field.
+        current = dict(_payload(), python="3.12.4")
+        assert compatibility_warnings(current, _payload()) == []
+
+    def test_warns_on_machine_mismatch(self):
+        current = dict(_payload(), machine="aarch64")
+        baseline = dict(_payload(), machine="x86_64")
+        warnings = compatibility_warnings(current, baseline)
+        assert len(warnings) == 1
+        assert "x86_64" in warnings[0]
+
+
+class TestMarkdownSummary:
+    def test_table_has_one_row_per_scenario_with_delta(self):
+        current = _payload(single=150_000.0, multi=50_000.0)
+        current["quick"] = True
+        current["repeats"] = 3
+        text = markdown_summary(current, _payload(quick=False) | {"quick": True})
+        assert "| single | 150,000 |" in text
+        assert "1.50x" in text  # 150k vs 100k baseline
+        assert "0.50x" in text  # 50k vs 100k baseline
+        assert text.count("|---") == 0  # header uses spaced pipes
+        assert "quick, best of 3" in text
+
+    def test_without_baseline_deltas_are_dashes(self):
+        text = markdown_summary(_payload())
+        assert "—" in text
+
+    def test_includes_decode_section_and_warnings(self):
+        current = dict(_payload(), python="3.12.0")
+        current["decode"] = {
+            "requests": 50_000,
+            "legacy_seconds": 0.02,
+            "batched_seconds": 0.01,
+            "speedup": 2.0,
+            "identical": True,
+        }
+        baseline = dict(_payload(), python="3.10.0")
+        text = markdown_summary(current, baseline)
+        assert "Trace decode (50,000 requests)" in text
+        assert "**2.0x**" in text
+        assert ":warning:" in text
+
+
+class TestDecodeBenchmark:
+    def test_quick_payload_shape_and_equivalence(self):
+        payload = run_decode_benchmark(quick=True, repeats=1)
+        assert payload["identical"] is True
+        assert payload["requests"] == 50_000
+        assert payload["legacy_seconds"] > 0
+        assert payload["batched_seconds"] > 0
+        assert payload["speedup"] > 0
