@@ -31,6 +31,11 @@ from repro.cpu.trace import Trace
 from repro.exec import Executor, ResultCache, RunSpec
 from repro.experiments.runner import ExperimentRunner
 from repro.policies import make_policy
+from repro.policies.registry import (
+    PolicySpec,
+    build_policy,
+    canonical_policy,
+)
 from repro.sim.engine import SimulationDriver
 from repro.sim.metrics import (
     WorkloadMetrics,
@@ -48,6 +53,7 @@ __all__ = [
     "Executor",
     "MDMPolicy",
     "PROGRAMS",
+    "PolicySpec",
     "ProFessPolicy",
     "RSM",
     "ResultCache",
@@ -57,6 +63,8 @@ __all__ = [
     "Trace",
     "WORKLOADS",
     "WorkloadMetrics",
+    "build_policy",
+    "canonical_policy",
     "make_policy",
     "paper_quad_core",
     "paper_single_core",

@@ -25,7 +25,7 @@ class EvictedLine(Generic[V]):
     dirty: bool
 
 
-REPLACEMENT_POLICIES = ("lru", "fifo", "random")
+REPLACEMENT_POLICIES = ("lru", "fifo", "random", "lru-lip", "lfu")
 
 
 class SetAssociativeCache(Generic[V]):
@@ -33,8 +33,11 @@ class SetAssociativeCache(Generic[V]):
 
     Each set is an OrderedDict from key to (value, dirty).  Replacement
     is pluggable: true LRU (default — hits refresh recency), FIFO (hits
-    do not), or pseudo-random (deterministic in the seed, as a hardware
-    LFSR would be).  ``num_sets`` must be a power of two so indexing is a
+    do not), pseudo-random (deterministic in the seed, as a hardware
+    LFSR would be), LRU-LIP (LRU with low-priority insertion: fills land
+    at the LRU end and must earn a hit to be promoted — scan-resistant),
+    or LFU (evict the least-frequently-accessed entry, insertion-order
+    tie-break).  ``num_sets`` must be a power of two so indexing is a
     mask, as in hardware.
     """
 
@@ -44,6 +47,9 @@ class SetAssociativeCache(Generic[V]):
         "replacement",
         "_lfsr",
         "_sets",
+        "_touch_moves",
+        "_is_lfu",
+        "_freq",
         "hits",
         "misses",
     )
@@ -67,6 +73,12 @@ class SetAssociativeCache(Generic[V]):
         self.num_sets = num_sets
         self.associativity = associativity
         self.replacement = replacement
+        # Hot-path predicates, resolved once (lookup runs per request).
+        self._touch_moves = replacement in ("lru", "lru-lip")
+        self._is_lfu = replacement == "lfu"
+        #: key -> access count since fill (LFU only; keys are globally
+        #: unique, so one dict serves every set).
+        self._freq: dict[int, int] = {}
         # Simple deterministic LFSR-style state for random replacement.
         self._lfsr = (seed * 2654435761 + 1) & 0xFFFFFFFF
         self._sets: list[OrderedDict[int, list]] = [
@@ -96,8 +108,11 @@ class SetAssociativeCache(Generic[V]):
             self.misses += 1
             return None
         self.hits += 1
-        if touch and self.replacement == "lru":
-            entry_set.move_to_end(key)
+        if touch:
+            if self._touch_moves:
+                entry_set.move_to_end(key)
+            elif self._is_lfu:
+                self._freq[key] = self._freq.get(key, 0) + 1
         return slot[0]
 
     def peek(self, key: int) -> Optional[V]:
@@ -127,6 +142,8 @@ class SetAssociativeCache(Generic[V]):
             if dirty:
                 entry_set[key][1] = True
             entry_set.move_to_end(key)
+            if self._is_lfu:
+                self._freq[key] = self._freq.get(key, 0) + 1
             return None
         victim: Optional[EvictedLine[V]] = None
         if len(entry_set) >= self.associativity:
@@ -134,18 +151,34 @@ class SetAssociativeCache(Generic[V]):
                 keys = list(entry_set)
                 victim_key = keys[self._next_random() % len(keys)]
                 victim_value, victim_dirty = entry_set.pop(victim_key)
-            else:  # lru and fifo both evict the oldest-ordered entry
+            elif self._is_lfu:
+                # Least-frequently-used; ties break toward the oldest
+                # insertion (deterministic: OrderedDict iteration order).
+                freq = self._freq
+                victim_key = min(entry_set, key=lambda k: freq.get(k, 0))
+                victim_value, victim_dirty = entry_set.pop(victim_key)
+            else:  # lru, fifo, lru-lip all evict the oldest-ordered entry
                 victim_key, (victim_value, victim_dirty) = entry_set.popitem(
                     last=False
                 )
             victim = EvictedLine(victim_key, victim_value, victim_dirty)
+            if self._is_lfu:
+                self._freq.pop(victim_key, None)
         entry_set[key] = [value, dirty]
+        if self.replacement == "lru-lip":
+            # Low-priority insertion: the fill lands at the LRU end and
+            # must earn a lookup hit to be promoted.
+            entry_set.move_to_end(key, last=False)
+        elif self._is_lfu:
+            self._freq[key] = 1
         return victim
 
     def invalidate(self, key: int) -> Optional[V]:
         """Remove ``key`` if present; return its value."""
         entry_set = self._set_for(key)
         slot = entry_set.pop(key, None)
+        if self._is_lfu:
+            self._freq.pop(key, None)
         return None if slot is None else slot[0]
 
     def __len__(self) -> int:

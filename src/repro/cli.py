@@ -72,6 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list available experiments")
 
+    policies_parser = subparsers.add_parser(
+        "policies",
+        help="list registered migration policies and composition axes",
+        description="Print every policy in the composable registry "
+        "(repro.policies.registry) with its base algorithm and RSM "
+        "guidance, plus the axis grammar accepted by 'profess run "
+        "--policy' (base[+rsm][+swap:STYLE][+bypass:RATE][+stc:POLICY]).",
+    )
+    policies_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the listing as markdown tables (README source)",
+    )
+
     run_parser = subparsers.add_parser("run", help="run experiment(s)")
     run_parser.add_argument(
         "experiment",
@@ -97,6 +111,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace length per program (single-program runs)",
     )
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="restrict policy-sweep experiments (e.g. ext-policy-matrix) "
+        "to these composable policy specs (repeatable; e.g. "
+        "mdm+rsm+bypass:0.05+stc:lfu); see 'profess policies'",
+    )
     run_parser.add_argument(
         "--validate-every",
         type=int,
@@ -297,11 +320,15 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         validate_every=getattr(args, "validate_every", 0),
+        policies=getattr(args, "policy", None),
     )
 
 
 def _run(args: argparse.Namespace) -> int:
     from repro.experiments.paper_report import format_run_stats
+
+    from repro.common.errors import PolicySpecError, UnknownPolicyError
+    from repro.policies.registry import canonical_policy
 
     # Validate the complete request before simulating anything: a typo
     # at the end of an id list must not waste the runs before it.
@@ -313,6 +340,12 @@ def _run(args: argparse.Namespace) -> int:
             f"unknown experiment(s) {unknown}; try 'profess list'",
             file=sys.stderr,
         )
+        return 2
+    try:
+        for spec in args.policy or ():
+            canonical_policy(spec)
+    except (PolicySpecError, UnknownPolicyError) as error:
+        print(f"bad --policy: {error}", file=sys.stderr)
         return 2
     runner = _make_runner(args)
     profiler = None
@@ -553,6 +586,46 @@ def _lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _policies(args: argparse.Namespace) -> int:
+    from repro.common.config import STC_REPLACEMENTS, SWAP_STYLES
+    from repro.policies.registry import guided_bases, iter_registered
+
+    entries = list(iter_registered())
+    guided = ", ".join(guided_bases())
+    swap_styles = ", ".join(SWAP_STYLES)
+    stc_policies = ", ".join(STC_REPLACEMENTS)
+    if args.markdown:
+        print("| name | base | guidance | description |")
+        print("| --- | --- | --- | --- |")
+        for entry in entries:
+            guidance = "RSM" if entry.guidance else "—"
+            print(
+                f"| `{entry.name}` | {entry.base} | {guidance} "
+                f"| {entry.description} |"
+            )
+        print()
+        print("| axis | values | default |")
+        print("| --- | --- | --- |")
+        print(f"| `+rsm` | guided bases: {guided} | off |")
+        print(f"| `+swap:STYLE` | {swap_styles} | policy default |")
+        print("| `+bypass:RATE` | [0, 1) | 0 (off) |")
+        print(f"| `+stc:POLICY` | {stc_policies} | lru |")
+    else:
+        width = max(len(entry.name) for entry in entries)
+        for entry in entries:
+            tag = " [rsm]" if entry.guidance else ""
+            print(f"{entry.name.ljust(width)}  {entry.description}{tag}")
+        print()
+        print(
+            "compose axes with '+': "
+            "base[+rsm][+swap:STYLE][+bypass:RATE][+stc:POLICY]"
+        )
+        print(f"  rsm guidance available for: {guided}")
+        print(f"  swap styles: {swap_styles}")
+        print(f"  stc replacement: {stc_policies}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -561,6 +634,8 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id, spec in EXPERIMENTS.items():
             print(f"{experiment_id.ljust(width)}  {spec.description}")
         return 0
+    if args.command == "policies":
+        return _policies(args)
     if args.command == "report":
         return _report(args)
     if args.command == "trace":

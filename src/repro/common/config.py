@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigError
-from repro.common.serialize import canonical_digest
+from repro.common.serialize import canonical_digest, canonical_value
 from repro.common.units import (
     KB,
     MB,
@@ -35,6 +35,16 @@ from repro.common.units import (
 LINE_BURST_NS = 5.0
 #: Lines per 2-KB swap block.
 LINES_PER_BLOCK = 32
+
+#: Composable swap styles (Table 1 nomenclature plus extensions): *fast*
+#: exchanges two blocks directly, *slow* restores the group's original
+#: mapping first (SILC-FM), *smart* restores only when the exchange does
+#: not already re-home the demoted block, *noswap* disables migration
+#: traffic entirely (decision accounting still runs).
+SWAP_STYLES = ("fast", "slow", "smart", "noswap")
+#: Replacement policies selectable for the STC array.  Must stay a
+#: subset of :data:`repro.cache.sets.REPLACEMENT_POLICIES`.
+STC_REPLACEMENTS = ("lru", "fifo", "random", "lru-lip", "lfu")
 
 
 @dataclass(frozen=True)
@@ -358,6 +368,44 @@ class ProFessConfig:
 
 
 @dataclass(frozen=True)
+class PolicyAxesConfig:
+    """Config-level defaults for the composable policy axes.
+
+    Every axis defaults to "inherit" (empty string / zero): the policy
+    class's own default applies.  A :class:`repro.policies.registry.
+    PolicySpec` that names an axis explicitly overrides these defaults.
+    The field is deliberately OMITTED from :meth:`SystemConfig.
+    cache_token` while it holds only defaults, so every pre-redesign
+    cache key (and golden digest) is preserved byte-for-byte.
+    """
+
+    #: "" = policy-class default; otherwise one of :data:`SWAP_STYLES`.
+    swap_style: str = ""
+    #: Probability of dropping a decided promotion (0 disables; drawn
+    #: from the seeded ``migration-bypass`` substream).
+    bypass_rate: float = 0.0
+    #: "" = policy-class default; otherwise one of
+    #: :data:`STC_REPLACEMENTS`.
+    stc_replacement: str = ""
+
+    def __post_init__(self) -> None:
+        if self.swap_style and self.swap_style not in SWAP_STYLES:
+            raise ConfigError(
+                f"swap_style must be one of {SWAP_STYLES}, "
+                f"got {self.swap_style!r}"
+            )
+        if not 0.0 <= self.bypass_rate < 1.0:
+            raise ConfigError(
+                f"bypass_rate must be in [0, 1), got {self.bypass_rate!r}"
+            )
+        if self.stc_replacement and self.stc_replacement not in STC_REPLACEMENTS:
+            raise ConfigError(
+                f"stc_replacement must be one of {STC_REPLACEMENTS}, "
+                f"got {self.stc_replacement!r}"
+            )
+
+
+@dataclass(frozen=True)
 class EnergyConfig:
     """Per-event energy model for the off-chip memory system (Fig. 12/15).
 
@@ -406,6 +454,9 @@ class SystemConfig:
     mdm: MDMConfig = field(default_factory=MDMConfig)
     rsm: RSMConfig = field(default_factory=RSMConfig)
     profess: ProFessConfig = field(default_factory=ProFessConfig)
+    #: Config-level defaults for the composable policy axes (swap style,
+    #: probabilistic bypass, STC replacement); a PolicySpec overrides.
+    axes: PolicyAxesConfig = field(default_factory=PolicyAxesConfig)
     #: Writes count as this many accesses in policy statistics (Sec. 4.1:
     #: "we count each write request as eight accesses" for PoM and ProFess).
     write_access_weight: int = 8
@@ -484,8 +535,38 @@ class SystemConfig:
         is invariant under dataclass field reordering and float
         formatting changes.  Two configs share a token iff every field
         value is equal; any semantic change yields a new token.
+
+        Back-compat: the ``axes`` field is omitted while it holds only
+        inherit-defaults.  A default ``axes`` cannot change any result
+        (every axis resolves to the policy class's own default), so the
+        token — and therefore every :meth:`repro.exec.spec.RunSpec.
+        cache_key` minted before the policy-registry redesign — is
+        unchanged, and existing disk caches keep hitting.  Any non-default
+        axis value re-enters the digest and yields a new token.
         """
-        return canonical_digest(self)
+        value = canonical_value(self)
+        assert isinstance(value, dict)
+        if value["axes"] == canonical_value(PolicyAxesConfig()):
+            del value["axes"]
+        return canonical_digest(value)
+
+    def tunables(self) -> dict[str, object]:
+        """Per-policy tunable namespaces, keyed by registry base name.
+
+        The mapping view of the flat legacy fields (``config.pom``,
+        ``config.mdm``, ...), which remain as the back-compat spelling;
+        ``"axes"`` holds the cross-cutting axis defaults.
+        """
+        return {
+            "pom": self.pom,
+            "cameo": self.cameo,
+            "silcfm": self.silcfm,
+            "mempod": self.mempod,
+            "mdm": self.mdm,
+            "rsm": self.rsm,
+            "profess": self.profess,
+            "axes": self.axes,
+        }
 
     def derived_k(self) -> int:
         """PoM's K derived per Section 4.1 from the configured timings.

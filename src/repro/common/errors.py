@@ -30,5 +30,29 @@ class UnknownNameError(ReproError, KeyError):
     """An unknown program, workload, policy, or experiment name."""
 
 
+class PolicySpecError(InvalidValueError):
+    """A malformed policy spec string or inconsistent axis combination.
+
+    Raised by :meth:`repro.policies.registry.PolicySpec.parse` and the
+    spec constructor; derives from :class:`InvalidValueError` so callers
+    that caught the old ``make_policy`` errors keep working.
+    """
+
+
+class UnknownPolicyError(InvalidValueError):
+    """A policy base name that is not in the registry.
+
+    Carries ``known`` — the sorted registered names — so CLI error
+    messages can list the alternatives.
+    """
+
+    def __init__(self, name: str, known: list[str]) -> None:
+        self.name = name
+        self.known = list(known)
+        super().__init__(
+            f"unknown policy {name!r}; choose from {self.known}"
+        )
+
+
 class RangeError(ReproError, IndexError):
     """An index or identifier outside its structure's valid range."""

@@ -30,8 +30,10 @@ from repro.core.mdm_stats import MDMProgramStats
 from repro.core.qac import quantize_access_count
 from repro.hybrid.st_entry import STEntry
 from repro.policies.base import AccessContext, MigrationPolicy
+from repro.policies.registry import register_policy
 
 
+@register_policy("mdm")
 class MDMPolicy(MigrationPolicy):
     """Individual cost-benefit migration decisions via predicted accesses."""
 

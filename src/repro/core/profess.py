@@ -22,8 +22,10 @@ from typing import Optional
 from repro.common.config import SystemConfig
 from repro.core.mdm import MDMPolicy
 from repro.policies.base import AccessContext
+from repro.policies.registry import register_policy
 
 
+@register_policy("profess", base="mdm", guidance=True)
 class ProFessPolicy(MDMPolicy):
     """The integrated framework: probabilistic MDM + RSM fairness guidance."""
 

@@ -24,8 +24,10 @@ from typing import Optional
 from repro.common.config import SystemConfig
 from repro.policies.base import AccessContext
 from repro.policies.pom import PoMPolicy
+from repro.policies.registry import register_policy
 
 
+@register_policy("rsm-pom", base="pom", guidance=True)
 class RSMGuidedPoMPolicy(PoMPolicy):
     """PoM with Table 7 fairness guidance."""
 

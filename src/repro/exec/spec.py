@@ -33,7 +33,9 @@ class RunSpec:
     kind: str
     #: Program mix, in core order; duplicates get distinct trace seeds.
     programs: tuple[str, ...]
-    #: Policy name (see :func:`repro.policies.make_policy`).
+    #: Policy spec string (see :func:`repro.policies.registry.build_policy`);
+    #: canonicalized at construction so equivalent spellings of one
+    #: composition (``"mdm+rsm"`` / ``"profess"``) share a cache key.
     policy: str
     config: SystemConfig
     #: Trace length per program, in requests.
@@ -58,6 +60,12 @@ class RunSpec:
             raise InvalidValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
         if not self.programs:
             raise InvalidValueError("a RunSpec needs at least one program")
+        # Canonicalize the policy spec (frozen dataclass: object.__setattr__
+        # is the sanctioned escape hatch in __post_init__).  Legacy names
+        # map to themselves, so pre-redesign cache keys are untouched.
+        from repro.policies.registry import canonical_policy
+
+        object.__setattr__(self, "policy", canonical_policy(self.policy))
 
     def cache_key(self) -> str:
         """Stable content hash identifying this run's result.

@@ -5,39 +5,92 @@
   ProFess's gains by racing four schemes against the PoM baseline on the
   Figure 2 workloads: PoM, RSM-guided PoM (guidance only), MDM (cost-
   benefit only), and ProFess (both).
-* ``ext-policy-matrix`` — every implemented policy (including CAMEO,
-  SILC-FM, and MemPod) on one contended workload, the full Table 2 cast
-  under identical conditions.
+* ``ext-policy-matrix`` — the cross-product of the registry's
+  composition axes (base algorithm x RSM guidance x STC replacement) on
+  one contended workload: the full Table 2 cast plus every guided and
+  axis-varied composition, under identical conditions.
+
+Both sweeps derive their policy sets from the composable registry
+(:mod:`repro.policies.registry`) instead of hard-coded name tuples, so
+registering a new policy automatically enrolls it.
 """
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.common.stats import geomean
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import ExperimentRunner
+from repro.policies.registry import (
+    PolicySpec,
+    guided_bases,
+    iter_registered,
+)
 from repro.workloads.generator import random_mixes
 from repro.workloads.table10 import FAIRNESS_DETAIL_WORKLOADS
 
-DECOMPOSITION_POLICIES = ("rsm-pom", "mdm", "profess")
-MATRIX_POLICIES = (
-    "static",
-    "cameo",
-    "silcfm",
-    "mempod",
-    "pom",
-    "rsm-pom",
-    "mdm",
-    "profess",
-)
+#: The contended Table 10 workload every matrix cell runs on.
+MATRIX_WORKLOAD = "w09"
+#: STC replacement axis values the matrix sweeps (``lru`` is the
+#: registry default and reuses cached plain-policy runs).
+MATRIX_STC_REPLACEMENTS = ("lru", "lfu")
+
+
+def decomposition_policies() -> Tuple[str, ...]:
+    """The ``ext-rsm-pom`` cast, derived from the registry.
+
+    Every guided registration contributes its base algorithm (the
+    cost-benefit-only arm, skipping the PoM baseline itself) and the
+    guided composition; registering a new RSM-guided policy enrolls it
+    automatically.
+    """
+    names: list[str] = []
+    for entry in iter_registered():
+        if not entry.guidance:
+            continue
+        if entry.base != "pom" and entry.base not in names:
+            names.append(entry.base)
+        names.append(entry.name)
+    return tuple(names)
+
+
+def matrix_cells() -> Tuple[PolicySpec, ...]:
+    """The ``ext-policy-matrix`` cross-product as :class:`PolicySpec`.
+
+    Axes: every registered base algorithm x RSM guidance (where a guided
+    implementation exists) x :data:`MATRIX_STC_REPLACEMENTS`.  The
+    ``lru`` column leaves the spec's STC axis at "inherit" so those
+    cells canonicalize to plain registered names and share cache
+    entries with the rest of the suite.
+    """
+    guided = set(guided_bases())
+    cells: list[PolicySpec] = []
+    for entry in iter_registered():
+        if entry.guidance:
+            continue
+        for guidance in (False, True):
+            if guidance and entry.base not in guided:
+                continue
+            for stc in MATRIX_STC_REPLACEMENTS:
+                cells.append(
+                    PolicySpec(
+                        base=entry.base,
+                        guidance=guidance,
+                        stc_replacement="" if stc == "lru" else stc,
+                    )
+                )
+    return tuple(cells)
 
 
 def run_rsm_pom(runner: ExperimentRunner) -> ExperimentResult:
     """Decompose ProFess: guidance-only vs cost-benefit-only vs both."""
+    policies = decomposition_policies()
     rows = []
-    aggregates = {policy: {"unf": [], "ws": []} for policy in DECOMPOSITION_POLICIES}
+    aggregates = {policy: {"unf": [], "ws": []} for policy in policies}
     for name in FAIRNESS_DETAIL_WORKLOADS:
         pom = runner.workload_metrics(name, "pom")
-        for policy in DECOMPOSITION_POLICIES:
+        for policy in policies:
             ours = runner.workload_metrics(name, policy)
             unf = ours.unfairness / pom.unfairness
             ws = ours.weighted_speedup / pom.weighted_speedup
@@ -45,7 +98,7 @@ def run_rsm_pom(runner: ExperimentRunner) -> ExperimentResult:
             aggregates[policy]["ws"].append(ws)
             rows.append([name, policy, unf, ws])
     summary = {}
-    for policy in DECOMPOSITION_POLICIES:
+    for policy in policies:
         summary[f"{policy} geomean unfairness vs PoM"] = geomean(
             aggregates[policy]["unf"]
         )
@@ -108,14 +161,14 @@ def run_prediction_accuracy(runner: ExperimentRunner) -> ExperimentResult:
     mechanism directly — something the paper itself never measures.
     """
     from repro.analysis.decisions import calibrate
-    from repro.core.mdm import MDMPolicy
+    from repro.policies.registry import build_policy
     from repro.sim.engine import SimulationDriver
 
     config = runner.single_config()
     rows = []
     accuracies = {}
     for program in ("lbm", "zeusmp", "omnetpp", "mcf"):
-        policy = MDMPolicy(config, record_predictions=True)
+        policy = build_policy("mdm", config, record_predictions=True)
         driver = SimulationDriver(
             config,
             policy,
@@ -161,14 +214,47 @@ def run_prediction_accuracy(runner: ExperimentRunner) -> ExperimentResult:
 
 
 def run_policy_matrix(runner: ExperimentRunner) -> ExperimentResult:
-    """All implemented policies on one contended workload (w09)."""
+    """Cross-product policy/axis sweep on one contended workload (w09).
+
+    One cell per point of :func:`matrix_cells` (base algorithm x RSM
+    guidance x STC replacement); the whole wave is prefetched through
+    the runner's executor so ``--jobs N`` fans the sweep out over the
+    process pool with results identical to serial execution.  The
+    CLI's repeatable ``--policy SPEC`` (``runner.policy_specs``)
+    restricts the sweep to explicit compositions.
+    """
+    restricted = getattr(runner, "policy_specs", None)
+    if restricted:
+        cells = tuple(PolicySpec.parse(spec) for spec in restricted)
+    else:
+        cells = matrix_cells()
+    if hasattr(runner, "workload_metric_specs"):
+        wave = []
+        for cell in cells:
+            wave.extend(
+                runner.workload_metric_specs(
+                    MATRIX_WORKLOAD, cell.canonical()
+                )
+            )
+        runner.prefetch(wave)
     rows = []
-    for policy in MATRIX_POLICIES:
-        metrics = runner.workload_metrics("w09", policy)
-        result = runner.run_workload("w09", policy)
+    speedups_by_axis: dict[str, dict[str, list[float]]] = {
+        "base": {},
+        "guidance": {},
+        "stc": {},
+    }
+    for cell in cells:
+        policy = cell.canonical()
+        metrics = runner.workload_metrics(MATRIX_WORKLOAD, policy)
+        result = runner.run_workload(MATRIX_WORKLOAD, policy)
+        guidance = "rsm" if cell.guidance else "-"
+        stc = cell.stc_replacement or "lru"
         rows.append(
             [
                 policy,
+                cell.base,
+                guidance,
+                stc,
                 metrics.weighted_speedup,
                 metrics.unfairness,
                 result.total_swaps,
@@ -176,11 +262,31 @@ def run_policy_matrix(runner: ExperimentRunner) -> ExperimentResult:
                 metrics.energy_efficiency,
             ]
         )
+        for axis, value in (
+            ("base", cell.base),
+            ("guidance", guidance),
+            ("stc", stc),
+        ):
+            speedups_by_axis[axis].setdefault(value, []).append(
+                metrics.weighted_speedup
+            )
+    summary = {}
+    for axis, groups in speedups_by_axis.items():
+        if len(groups) < 2:
+            continue  # a --policy restriction collapsed this axis
+        for value, speedups in groups.items():
+            summary[f"geomean WS [{axis}={value}]"] = geomean(speedups)
     return ExperimentResult(
         experiment_id="ext-policy-matrix",
-        title="All migration policies on w09 (identical organization)",
+        title=(
+            f"Policy/axis cross-product on {MATRIX_WORKLOAD} "
+            "(identical organization)"
+        ),
         headers=[
             "policy",
+            "base",
+            "guidance",
+            "stc",
             "weighted speedup",
             "max slowdown",
             "swaps",
@@ -188,4 +294,9 @@ def run_policy_matrix(runner: ExperimentRunner) -> ExperimentResult:
             "req/J",
         ],
         rows=rows,
+        summary=summary,
+        notes=(
+            "Cells derive from the composable policy registry; the lru "
+            "column shares cache entries with the plain-policy suite."
+        ),
     )

@@ -33,6 +33,7 @@ from repro.common.config import (
 from repro.cpu.trace import Trace
 from repro.exec import Executor, ResultCache, RunEvent, RunSpec
 from repro.exec.spec import workload_traces as _workload_traces
+from repro.policies.registry import canonical_policy
 from repro.sim.metrics import WorkloadMetrics
 from repro.sim.results import SimulationResult
 from repro.traces.generator import synthesize_trace
@@ -60,6 +61,7 @@ class ExperimentRunner:
         jobs: int = 1,
         cache_dir: Optional[str | Path] = None,
         validate_every: int = 0,
+        policies: Optional[Sequence[str]] = None,
     ) -> None:
         self.scale = scale
         self.multi_requests = multi_requests
@@ -77,6 +79,14 @@ class ExperimentRunner:
         #: Forwarded to every spec this runner builds: audit controller
         #: invariants every N cycles during simulation (0 = off).
         self.validate_every = validate_every
+        #: Optional policy restriction for sweep experiments (the CLI's
+        #: repeatable ``--policy SPEC``): canonicalized composable spec
+        #: strings, or None for each experiment's full default set.
+        self.policy_specs: Optional[tuple[str, ...]] = (
+            tuple(canonical_policy(policy) for policy in policies)
+            if policies
+            else None
+        )
         self.cache = (
             ResultCache(cache_dir) if cache_dir is not None else None
         )

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.common.config import paper_quad_core
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import ExperimentRunner
-from repro.policies import make_policy
+from repro.policies.registry import build_policy
 
 TABLE1_ROWS = [
     ["CAMEO", "1:3", "Direct-mapped", "64B", "Fast"],
@@ -34,7 +34,7 @@ def run(runner: ExperimentRunner) -> ExperimentResult:
     """Print Table 1 and verify Table 2's parameters structurally."""
     config = paper_quad_core(scale=runner.scale)
     checks = {}
-    pom = make_policy("pom", config)
+    pom = build_policy("pom", config)
     checks["pom thresholds are (1, 6, 18, 48)"] = config.pom.thresholds == (
         1,
         6,
@@ -51,11 +51,11 @@ def run(runner: ExperimentRunner) -> ExperimentResult:
         config.mempod.max_migrations_per_interval == 64
     )
     checks["mempod counts writes once"] = (
-        make_policy("mempod", config).write_weight == 1
+        build_policy("mempod", config).write_weight == 1
     )
     checks["mdm/pom write weight is 8"] = (
-        make_policy("mdm", config).write_weight == 8
-        and make_policy("pom", config).write_weight == 8
+        build_policy("mdm", config).write_weight == 8
+        and build_policy("pom", config).write_weight == 8
     )
     checks["our organization is PoM (group of 9, 2KB blocks)"] = (
         config.hybrid.group_size == 9 and config.hybrid.block_size == 2048

@@ -83,6 +83,10 @@ class HybridMemoryController:
         "total_swaps",
         "_pending_fetches",
         "_swap_pending",
+        "_swap_style",
+        "_swaps_enabled",
+        "_bypass_rate",
+        "_bypass_rng",
         "_stc_latency",
         "_access_weights",
         "_counter_max",
@@ -143,11 +147,27 @@ class HybridMemoryController:
             for _ in range(config.num_channels)
         ]
         self.st = SwapGroupTable(config.total_groups, config.hybrid.group_size)
+        # Composable policy axes (repro.policies.registry): the policy
+        # instance carries its resolved swap style / bypass rate / STC
+        # replacement; class defaults cover directly constructed policies.
+        self._swap_style = policy.swap_style
+        self._swaps_enabled = policy.swap_style != "noswap"
+        self._bypass_rate = policy.bypass_rate
+        # The bypass substream exists only when the axis is active, so
+        # default-axes runs draw nothing and stay byte-identical to the
+        # pre-axis golden blobs.
+        self._bypass_rng: Optional[np.random.Generator] = (
+            make_rng(seed, "migration-bypass")
+            if policy.bypass_rate > 0.0
+            else None
+        )
         self.stc = STC(
             num_sets=config.stc.num_sets,
             associativity=config.stc.associativity,
             group_size=config.hybrid.group_size,
             counter_max=config.mdm.access_counter_max,
+            replacement=policy.stc_replacement,
+            seed=seed,
         )
         self.stc.on_eviction(self._on_stc_eviction)
         self.region_map = RegionMap(self.address_map, self.num_programs)
@@ -342,9 +362,18 @@ class HybridMemoryController:
 
         block_location = self._data_location(group, location)
 
-        if promote_slot is None:
+        if (
+            promote_slot is None
+            or not self._swaps_enabled
+            or (
+                self._bypass_rng is not None
+                and self._bypass_rng.random() < self._bypass_rate
+            )
+        ):
             # Common case: nothing to do at completion beyond notifying
             # the issuer, so its callback is passed through unwrapped.
+            # (The noswap and probabilistic-bypass axes drop the decided
+            # promotion here, before any completion hook is wrapped.)
             on_data_complete = on_complete
         else:
             on_data_complete = partial(
@@ -382,7 +411,7 @@ class HybridMemoryController:
         Returns False when the promotion is moot (block already in M1) or
         a swap for this group is still in flight.
         """
-        if group in self._swap_pending:
+        if not self._swaps_enabled or group in self._swap_pending:
             return False
         st_entry = self.st.entry(group)
         if st_entry.location_of(slot) == 0:
@@ -415,10 +444,17 @@ class HybridMemoryController:
         on_swap_done = partial(self._finish_swap, group)
 
         channel = self.channels[m1_address.channel]
-        if self.policy.slow_swaps and not was_identity:
+        style = self._swap_style
+        if (
+            style == "slow"
+            or (style == "smart" and m2_location != demote_slot)
+        ) and not was_identity:
             # Slow swap type (Table 1): the group's original mapping must
             # be restored before the new blocks exchange, costing an
-            # extra block-move pass on the channel.
+            # extra block-move pass on the channel.  The smart style pays
+            # the restore only when the exchange does not already re-home
+            # the demoted block (i.e. the demoted block's new M2 location
+            # is not its original slot).
             channel.schedule_swap(
                 m1_bank=m1_address.address.bank,
                 m1_row=m1_address.address.row,

@@ -51,6 +51,8 @@ RULES: dict[str, str] = {
     "C303": "raised exception does not derive from ReproError",
     "C304": "public function in an annotated package lacks complete type "
     "hints",
+    "C305": "direct policy-class construction outside repro.policies/"
+    "repro.core (use repro.policies.registry.build_policy)",
     "E999": "file could not be parsed",
 }
 
@@ -109,6 +111,33 @@ _BANNED_BUILTIN_RAISES = frozenset(
 )
 
 
+#: Concrete policy classes C305 refuses to see constructed outside the
+#: policy packages: direct construction bypasses the registry's axis
+#: resolution and canonical naming (repro.policies.registry).
+_POLICY_CLASSES = frozenset(
+    {
+        "StaticPolicy",
+        "CameoPolicy",
+        "PoMPolicy",
+        "SilcFMPolicy",
+        "MemPodPolicy",
+        "MDMPolicy",
+        "ProFessPolicy",
+        "RSMGuidedPoMPolicy",
+    }
+)
+#: Packages allowed to construct policy classes directly (C305): the
+#: registry factory itself and the defining/subclassing modules.
+_POLICY_PACKAGES = ("repro.policies", "repro.core")
+
+
+def _in_policy_scope(module: str) -> bool:
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in _POLICY_PACKAGES
+    )
+
+
 def _in_sim_scope(module: str) -> bool:
     parts = module.split(".")
     return len(parts) >= 2 and parts[0] == "repro" and parts[1] in SIM_PACKAGES
@@ -138,6 +167,7 @@ class _Checker(ast.NodeVisitor):
         self.findings: list[Finding] = []
         self.sim_scope = _in_sim_scope(info.module)
         self.annotated_scope = _in_annotated_scope(info.module)
+        self.policy_scope = _in_policy_scope(info.module)
         self.is_rng_module = info.module == RNG_MODULE
         #: Enclosing ClassDef qualnames, innermost last.
         self._class_stack: list[str] = []
@@ -240,6 +270,17 @@ class _Checker(ast.NodeVisitor):
                         node,
                         f"{resolved}() call inside a hot-path function",
                     )
+            if (
+                not self.policy_scope
+                and resolved.rsplit(".", 1)[-1] in _POLICY_CLASSES
+            ):
+                self._emit(
+                    "C305",
+                    node,
+                    f"{resolved}() constructed directly: use "
+                    "repro.policies.registry.build_policy so axis "
+                    "resolution and canonical naming apply",
+                )
         self.generic_visit(node)
 
     # ------------------------------------------------------------------

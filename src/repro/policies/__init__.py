@@ -2,52 +2,87 @@
 policy.  The paper's own policies (MDM, ProFess) live in :mod:`repro.core`
 but implement the same :class:`~repro.policies.base.MigrationPolicy`
 interface, so every scheme runs on the identical organization — the
-methodological point of Section 2.3."""
+methodological point of Section 2.3.
+
+Construction goes through the composable registry
+(:mod:`repro.policies.registry`)::
+
+    from repro.policies import build_policy
+    policy = build_policy("mdm+rsm+stc:lfu", config)
+
+Importing the concrete policy classes from this package
+(``from repro.policies import PoMPolicy``) is deprecated: it bypasses
+axis resolution and canonical naming.  The classes remain importable
+from their defining modules for subclassing.
+"""
+
+import importlib
+import warnings
 
 from repro.policies.base import AccessContext, MigrationPolicy
-from repro.policies.static import StaticPolicy
-from repro.policies.cameo import CameoPolicy
-from repro.policies.pom import PoMPolicy
-from repro.policies.silcfm import SilcFMPolicy
-from repro.policies.mempod import MemPodPolicy
-from repro.common.errors import InvalidValueError
+from repro.policies.registry import (
+    PolicySpec,
+    RegisteredPolicy,
+    build_policy,
+    canonical_policy,
+    guided_bases,
+    iter_registered,
+    register_policy,
+    registry_names,
+)
 
 __all__ = [
     "AccessContext",
-    "CameoPolicy",
-    "MemPodPolicy",
     "MigrationPolicy",
-    "PoMPolicy",
-    "SilcFMPolicy",
-    "StaticPolicy",
+    "PolicySpec",
+    "RegisteredPolicy",
+    "build_policy",
+    "canonical_policy",
+    "guided_bases",
+    "iter_registered",
+    "make_policy",
+    "register_policy",
+    "registry_names",
 ]
+
+#: Deprecated class re-exports -> defining module (one release of
+#: back-compat; the ``__getattr__`` shim below warns on use).
+_DEPRECATED_CLASSES = {
+    "StaticPolicy": "repro.policies.static",
+    "CameoPolicy": "repro.policies.cameo",
+    "PoMPolicy": "repro.policies.pom",
+    "SilcFMPolicy": "repro.policies.silcfm",
+    "MemPodPolicy": "repro.policies.mempod",
+}
+
+
+def __getattr__(name: str):
+    target = _DEPRECATED_CLASSES.get(name)
+    if target is None:
+        # Module attribute protocol: must be AttributeError.
+        raise AttributeError(  # repro: noqa[C303]
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    warnings.warn(
+        f"importing {name} from repro.policies is deprecated; construct "
+        f"policies with repro.policies.build_policy(spec, config), or "
+        f"import the class from {target} for subclassing",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(target), name)
 
 
 def make_policy(name: str, config) -> MigrationPolicy:
-    """Factory for policies by canonical name (baselines and paper schemes).
+    """Deprecated name-based factory; use :func:`build_policy`.
 
-    Recognized names: ``static``, ``cameo``, ``pom``, ``silcfm``,
-    ``mempod``, ``mdm``, ``profess``, and the extension ``rsm-pom``
-    (RSM guidance wrapped around PoM, Section 6's suggestion).
+    Accepts every spelling :meth:`~repro.policies.registry.PolicySpec.
+    parse` does (legacy names included) and delegates to the registry.
     """
-    from repro.core.mdm import MDMPolicy
-    from repro.core.profess import ProFessPolicy
-    from repro.core.rsm_guided import RSMGuidedPoMPolicy
-
-    factories = {
-        "static": StaticPolicy,
-        "cameo": CameoPolicy,
-        "pom": PoMPolicy,
-        "silcfm": SilcFMPolicy,
-        "mempod": MemPodPolicy,
-        "mdm": MDMPolicy,
-        "profess": ProFessPolicy,
-        "rsm-pom": RSMGuidedPoMPolicy,
-    }
-    try:
-        factory = factories[name.lower()]
-    except KeyError:
-        raise InvalidValueError(
-            f"unknown policy {name!r}; choose from {sorted(factories)}"
-        ) from None
-    return factory(config)
+    warnings.warn(
+        "make_policy is deprecated; use repro.policies.build_policy "
+        "(accepts composable specs like 'mdm+rsm+stc:lfu')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_policy(name, config)

@@ -68,18 +68,34 @@ class MigrationPolicy(ABC):
     ProFess in this technology setting; 1 for MemPod).
     """
 
-    #: Canonical lowercase name used in experiment output.
+    #: Canonical lowercase name used in experiment output.  Instances
+    #: built through :func:`repro.policies.registry.build_policy` carry
+    #: the spec's canonical string here (e.g. ``"profess+stc:lfu"``).
     name: str = "base"
     write_weight: int = 1
-    #: Swap type per Table 1: *fast* swaps exchange any two blocks
-    #: directly; *slow* swaps (SILC-FM) must first restore the group's
-    #: original mapping, costing an extra block move when the group is
-    #: already remapped.
-    slow_swaps: bool = False
+    #: Swap style per Table 1 (class default; the registry's composable
+    #: ``swap:`` axis overrides per instance): *fast* swaps exchange any
+    #: two blocks directly; *slow* swaps (SILC-FM) must first restore
+    #: the group's original mapping, costing an extra block move when
+    #: the group is already remapped; *smart* restores only when the
+    #: exchange does not already re-home the demoted block; *noswap*
+    #: suppresses migration traffic entirely.
+    swap_style: str = "fast"
+    #: Probability of dropping a decided promotion (registry axis; 0 =
+    #: off).  Drawn from the seeded ``migration-bypass`` substream.
+    bypass_rate: float = 0.0
+    #: Replacement policy of the STC array serving this policy's run
+    #: (registry axis).
+    stc_replacement: str = "lru"
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self._controller = None
+
+    @property
+    def slow_swaps(self) -> bool:
+        """Back-compat view of :attr:`swap_style` (Table 1's slow type)."""
+        return self.swap_style == "slow"
 
     def bind(self, controller) -> None:
         """Attach the memory controller (owner lookups, RSM, clock).

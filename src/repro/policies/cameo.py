@@ -14,8 +14,10 @@ from typing import Optional
 
 from repro.common.config import SystemConfig
 from repro.policies.base import AccessContext, MigrationPolicy
+from repro.policies.registry import register_policy
 
 
+@register_policy("cameo")
 class CameoPolicy(MigrationPolicy):
     """Global threshold of one access."""
 

@@ -21,6 +21,7 @@ from typing import Optional
 from repro.common.config import SystemConfig
 from repro.common.units import cpu_cycles_from_ns
 from repro.policies.base import AccessContext, MigrationPolicy
+from repro.policies.registry import register_policy
 
 
 class MEATracker:
@@ -59,6 +60,7 @@ class MEATracker:
         self.counters.clear()
 
 
+@register_policy("mempod")
 class MemPodPolicy(MigrationPolicy):
     """MEA-driven batched promotions every 50 microseconds."""
 

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.common.config import SystemConfig
 from repro.policies.base import AccessContext, MigrationPolicy
+from repro.policies.registry import register_policy
 
 #: One in this many groups feeds the shadow threshold estimators.
 SAMPLE_STRIDE = 16
@@ -70,6 +71,7 @@ class ShadowState:
     promoted_slot: int = -1
 
 
+@register_policy("pom")
 class PoMPolicy(MigrationPolicy):
     """Competing counters + epoch-adaptive global threshold."""
 

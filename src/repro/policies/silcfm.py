@@ -20,14 +20,16 @@ from typing import Optional
 
 from repro.common.config import SystemConfig
 from repro.policies.base import AccessContext, MigrationPolicy
+from repro.policies.registry import register_policy
 
 
+@register_policy("silcfm")
 class SilcFMPolicy(MigrationPolicy):
     """Promote on first access unless the M1 resident is locked."""
 
     name = "silcfm"
     #: Table 1: SILC-FM's swap type is slow (restore-before-swap).
-    slow_swaps = True
+    swap_style = "slow"
 
     def __init__(self, config: SystemConfig) -> None:
         super().__init__(config)

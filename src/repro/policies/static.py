@@ -10,8 +10,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.policies.base import AccessContext, MigrationPolicy
+from repro.policies.registry import register_policy
 
 
+@register_policy("static")
 class StaticPolicy(MigrationPolicy):
     """Never migrate anything."""
 

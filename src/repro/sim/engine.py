@@ -20,8 +20,8 @@ from repro.cpu.core_model import TraceCore
 from repro.cpu.trace import Trace
 from repro.hybrid.memory import HybridMemoryController
 from repro.hybrid.regions import PageTable
-from repro.policies import make_policy
 from repro.policies.base import MigrationPolicy
+from repro.policies.registry import build_policy
 from repro.sim.results import PolicyStats, ProgramResult, SimulationResult
 from repro.traces.generator import LINES_PER_PAGE
 
@@ -61,7 +61,7 @@ class SimulationDriver:
         self.traces = list(traces)
         self.events = EventQueue()
         self.policy = (
-            make_policy(policy, config) if isinstance(policy, str) else policy
+            build_policy(policy, config) if isinstance(policy, str) else policy
         )
         # Section 3.1.1: threads of a multi-threaded program share one
         # program id (counter sets, private region, address space).  The

@@ -49,10 +49,32 @@ def _quad_profess_driver() -> "SimulationDriver":
     return SimulationDriver(config, "profess", traces, seed=0)
 
 
+def _quad_composed_driver() -> "SimulationDriver":
+    """A composed registry spec: ProFess with the LFU STC replacement.
+
+    Pins the whole composable-policy path — spec parsing, canonical
+    naming (``mdm+rsm+stc:lfu`` -> ``profess+stc:lfu``), axis resolution,
+    and the non-default STC array — byte for byte.
+    """
+    from repro.common.config import paper_quad_core
+    from repro.sim.engine import SimulationDriver
+    from repro.traces.generator import synthesize_trace
+
+    config = paper_quad_core(scale=128)
+    traces = [
+        ("zeusmp", synthesize_trace("zeusmp", 1000, scale=128, seed=0)),
+        ("leslie3d", synthesize_trace("leslie3d", 600, scale=128, seed=1)),
+        ("mcf", synthesize_trace("mcf", 600, scale=128, seed=2)),
+        ("libquantum", synthesize_trace("libquantum", 600, scale=128, seed=3)),
+    ]
+    return SimulationDriver(config, "mdm+rsm+stc:lfu", traces, seed=0)
+
+
 #: name -> fresh driver for that scenario.
 GOLDEN_SCENARIOS: Dict[str, Callable[[], "SimulationDriver"]] = {
     "single_pom": _single_pom_driver,
     "quad_profess": _quad_profess_driver,
+    "quad_composed": _quad_composed_driver,
 }
 
 

@@ -1,0 +1,12 @@
+"""C305: direct policy construction outside the policy packages."""
+
+from repro.core.mdm import MDMPolicy
+from repro.policies.pom import PoMPolicy
+
+
+def build(config):
+    return MDMPolicy(config)
+
+
+def build_other(config):
+    return PoMPolicy(config)

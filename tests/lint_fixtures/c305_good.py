@@ -1,0 +1,11 @@
+"""C305 clean: policies constructed through the composable registry."""
+
+from repro.policies.registry import build_policy
+
+
+def build(config):
+    return build_policy("mdm+rsm+stc:lfu", config)
+
+
+def build_with_kwargs(config):
+    return build_policy("mdm", config, record_predictions=True)

@@ -190,6 +190,44 @@ class TestReplacementPolicies:
                 assert victim.key in resident
                 resident.discard(victim.key)
 
+    def test_lfu_evicts_least_frequent(self):
+        cache = SetAssociativeCache[int](1, 2, replacement="lfu")
+        cache.insert(0, 0)
+        cache.insert(4, 4)
+        cache.lookup(0)  # freq(0)=2, freq(4)=1
+        victim = cache.insert(8, 8)
+        assert victim.key == 4
+
+    def test_lfu_tie_breaks_by_insertion_order(self):
+        cache = SetAssociativeCache[int](1, 2, replacement="lfu")
+        cache.insert(0, 0)
+        cache.insert(4, 4)  # both freq 1
+        victim = cache.insert(8, 8)
+        assert victim.key == 0  # oldest of the minimum-frequency entries
+
+    def test_lfu_reinsert_bumps_frequency(self):
+        cache = SetAssociativeCache[int](1, 2, replacement="lfu")
+        cache.insert(0, 0)
+        cache.insert(0, 10)  # freq(0)=2
+        cache.insert(4, 4)
+        victim = cache.insert(8, 8)
+        assert victim.key == 4
+
+    def test_lru_lip_inserts_at_lru_position(self):
+        cache = SetAssociativeCache[int](1, 2, replacement="lru-lip")
+        cache.insert(0, 0)
+        cache.insert(4, 4)  # LIP: 4 lands at the LRU end
+        victim = cache.insert(8, 8)
+        assert victim.key == 4
+
+    def test_lru_lip_hit_promotes(self):
+        cache = SetAssociativeCache[int](1, 2, replacement="lru-lip")
+        cache.insert(0, 0)
+        cache.insert(4, 4)
+        cache.lookup(4)  # promote the LIP-inserted entry
+        victim = cache.insert(8, 8)
+        assert victim.key == 0
+
     def test_unknown_policy_rejected(self):
         import pytest as _pytest
         from repro.common.errors import ConfigError as _ConfigError

@@ -5,7 +5,7 @@ import pytest
 from repro.common.config import paper_quad_core, with_overrides, STCConfig
 from repro.common.events import EventQueue
 from repro.hybrid.memory import HybridMemoryController
-from repro.policies import make_policy
+from repro.policies.registry import build_policy
 from repro.policies.base import AccessContext, MigrationPolicy
 
 CONFIG = paper_quad_core(scale=64)
@@ -29,7 +29,7 @@ class PromoteAlways(MigrationPolicy):
 
 def make_controller(policy=None, config=CONFIG):
     events = EventQueue()
-    policy = policy or make_policy("static", config)
+    policy = policy or build_policy("static", config)
     controller = HybridMemoryController(config, events, policy, seed=1)
     return events, controller
 
@@ -102,7 +102,7 @@ class TestAccessPath:
 
     def test_access_counter_bumped_with_weight(self):
         # MDM-family policies weigh writes as eight accesses (Sec. 4.1).
-        events, controller = make_controller(make_policy("mdm", CONFIG))
+        events, controller = make_controller(build_policy("mdm", CONFIG))
         controller.access(0, line_of(controller, 4, 2), True)  # write: x8
         events.run()
         entry = controller.stc.peek(4)

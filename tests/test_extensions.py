@@ -39,9 +39,14 @@ QUALITY = {
 class StubRunner:
     scale = 128
     seed = 0
+    policy_specs = None
 
     def workload_metrics(self, name, policy, config=None):
-        unfairness, speedup = QUALITY[policy]
+        # Composed specs ("mdm+stc:lfu") fall back to their base name's
+        # canned quality.
+        unfairness, speedup = QUALITY.get(policy) or QUALITY[
+            policy.split("+")[0]
+        ]
         return _metrics(policy, unfairness, speedup)
 
     def mix_metrics(self, programs, policy, config=None):
@@ -85,18 +90,32 @@ class TestRSMPoMDecomposition:
 
 
 class TestPolicyMatrix:
-    def test_all_policies_present(self):
+    def test_cross_product_covers_all_axes(self):
         result = run_policy_matrix(StubRunner())
-        assert [row[0] for row in result.rows] == [
-            "static",
-            "cameo",
-            "silcfm",
-            "mempod",
-            "pom",
-            "rsm-pom",
-            "mdm",
-            "profess",
-        ]
+        policies = [row[0] for row in result.rows]
+        bases = {row[1] for row in result.rows}
+        stcs = [row[3] for row in result.rows]
+        # 6 bases x guidance (2 guided bases) x 2 STC replacements.
+        assert len(result.rows) == 16
+        assert bases == {"static", "cameo", "pom", "silcfm", "mempod", "mdm"}
+        # Guided compositions canonicalize to their registered names.
+        assert "profess" in policies
+        assert "rsm-pom" in policies
+        assert "profess+stc:lfu" in policies
+        assert "mdm+stc:lfu" in policies
+        assert stcs.count("lru") == 8 and stcs.count("lfu") == 8
+
+    def test_summary_rolls_up_each_axis(self):
+        result = run_policy_matrix(StubRunner())
+        assert "geomean WS [base=mdm]" in result.summary
+        assert "geomean WS [guidance=rsm]" in result.summary
+        assert "geomean WS [stc=lfu]" in result.summary
+
+    def test_policy_specs_restrict_the_sweep(self):
+        runner = StubRunner()
+        runner.policy_specs = ("pom", "profess+stc:lfu")
+        result = run_policy_matrix(runner)
+        assert [row[0] for row in result.rows] == ["pom", "profess+stc:lfu"]
 
 
 class TestRandomMixes:

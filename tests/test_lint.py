@@ -76,6 +76,7 @@ CASES: dict[str, Case] = {
     "C302": Case(module="repro.analysis.fixture"),
     "C303": Case(module="repro.analysis.fixture"),
     "C304": Case(module="repro.common.fixture"),
+    "C305": Case(module="repro.experiments.fixture"),
     "E999": Case(module="repro.analysis.fixture"),
 }
 

@@ -7,7 +7,7 @@ from repro.common.config import paper_quad_core
 from repro.common.errors import ConfigError
 from repro.common.events import EventQueue
 from repro.hybrid.memory import HybridMemoryController
-from repro.policies import make_policy
+from repro.policies.registry import build_policy
 from repro.sim.engine import SimulationDriver
 from repro.traces.generator import synthesize_trace
 
@@ -25,7 +25,7 @@ def traces(names, requests=1500):
 class TestControllerMapping:
     def test_default_is_identity(self):
         controller = HybridMemoryController(
-            CONFIG, EventQueue(), make_policy("static", CONFIG)
+            CONFIG, EventQueue(), build_policy("static", CONFIG)
         )
         assert controller.program_of_core == [0, 1, 2, 3]
         assert controller.num_programs == 4
@@ -34,7 +34,7 @@ class TestControllerMapping:
         controller = HybridMemoryController(
             CONFIG,
             EventQueue(),
-            make_policy("static", CONFIG),
+            build_policy("static", CONFIG),
             program_of_core=[0, 0, 1, 1],
         )
         assert controller.num_programs == 2
@@ -47,7 +47,7 @@ class TestControllerMapping:
             HybridMemoryController(
                 CONFIG,
                 EventQueue(),
-                make_policy("static", CONFIG),
+                build_policy("static", CONFIG),
                 program_of_core=[0, 1],
             )
 
@@ -56,7 +56,7 @@ class TestControllerMapping:
             HybridMemoryController(
                 CONFIG,
                 EventQueue(),
-                make_policy("static", CONFIG),
+                build_policy("static", CONFIG),
                 program_of_core=[0, 2, 2, 3],
             )
 

@@ -6,7 +6,7 @@ import pytest
 from repro.common.config import paper_quad_core, paper_single_core
 from repro.common.events import EventQueue
 from repro.hybrid.memory import HybridMemoryController
-from repro.policies import make_policy
+from repro.policies.registry import build_policy
 from repro.sim.engine import SimulationDriver
 from repro.traces.generator import synthesize_trace
 
@@ -51,7 +51,7 @@ class TestSlowSwaps:
 
     def test_first_swap_is_fast(self):
         events = EventQueue()
-        policy = make_policy("silcfm", QUAD)
+        policy = build_policy("silcfm", QUAD)
         controller = HybridMemoryController(QUAD, events, policy)
         controller.access(0, self._line(controller, 5, 3), False)
         events.run()
@@ -60,7 +60,7 @@ class TestSlowSwaps:
 
     def test_remapped_group_pays_restore_pass(self):
         events = EventQueue()
-        policy = make_policy("silcfm", QUAD)
+        policy = build_policy("silcfm", QUAD)
         controller = HybridMemoryController(QUAD, events, policy)
         controller.access(0, self._line(controller, 5, 3), False)
         events.run()
@@ -72,7 +72,7 @@ class TestSlowSwaps:
 
     def test_fast_policies_never_restore(self):
         events = EventQueue()
-        policy = make_policy("cameo", QUAD)
+        policy = build_policy("cameo", QUAD)
         controller = HybridMemoryController(QUAD, events, policy)
         controller.access(0, self._line(controller, 5, 3), False)
         events.run()
@@ -81,9 +81,9 @@ class TestSlowSwaps:
         assert controller.channels[1].stats.swaps == 2
 
     def test_slow_swap_flag_values(self):
-        assert make_policy("silcfm", QUAD).slow_swaps
-        assert not make_policy("pom", QUAD).slow_swaps
-        assert not make_policy("mdm", QUAD).slow_swaps
+        assert build_policy("silcfm", QUAD).slow_swaps
+        assert not build_policy("pom", QUAD).slow_swaps
+        assert not build_policy("mdm", QUAD).slow_swaps
 
 
 class TestRefreshEnergy:
@@ -100,7 +100,7 @@ class TestM1Utilization:
     def test_grows_with_allocation(self):
         events = EventQueue()
         controller = HybridMemoryController(
-            QUAD, events, make_policy("static", QUAD)
+            QUAD, events, build_policy("static", QUAD)
         )
         before = controller.m1_utilization()
         controller.allocator.allocate(0, 400)
@@ -110,6 +110,6 @@ class TestM1Utilization:
     def test_bounded(self):
         events = EventQueue()
         controller = HybridMemoryController(
-            QUAD, events, make_policy("static", QUAD)
+            QUAD, events, build_policy("static", QUAD)
         )
         assert 0.0 <= controller.m1_utilization() <= 1.0
