@@ -43,6 +43,7 @@ class SetAssociativeCache(Generic[V]):
 
     __slots__ = (
         "num_sets",
+        "_set_mask",
         "associativity",
         "replacement",
         "_lfsr",
@@ -71,6 +72,7 @@ class SetAssociativeCache(Generic[V]):
                 f"got {replacement!r}"
             )
         self.num_sets = num_sets
+        self._set_mask = num_sets - 1
         self.associativity = associativity
         self.replacement = replacement
         # Hot-path predicates, resolved once (lookup runs per request).
@@ -98,11 +100,12 @@ class SetAssociativeCache(Generic[V]):
 
     # ------------------------------------------------------------------
     def _set_for(self, key: int) -> OrderedDict:
-        return self._sets[key & (self.num_sets - 1)]
+        return self._sets[key & self._set_mask]
 
     def lookup(self, key: int, touch: bool = True) -> Optional[V]:
         """Return the value for ``key`` or None; updates hit/miss stats."""
-        entry_set = self._set_for(key)
+        # _set_for, inlined: lookup/peek run once per demand request.
+        entry_set = self._sets[key & self._set_mask]
         slot = entry_set.get(key)
         if slot is None:
             self.misses += 1
@@ -117,7 +120,7 @@ class SetAssociativeCache(Generic[V]):
 
     def peek(self, key: int) -> Optional[V]:
         """Return the value without touching LRU or stats."""
-        slot = self._set_for(key).get(key)
+        slot = self._sets[key & self._set_mask].get(key)
         return None if slot is None else slot[0]
 
     def contains(self, key: int) -> bool:

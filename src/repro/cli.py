@@ -60,6 +60,20 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="directory for the persistent result cache (shared across "
         "invocations; repeat runs become cache hits)",
     )
+    _add_backend_flag(parser)
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mem-backend",
+        choices=("auto", "python", "compiled"),
+        default="auto",
+        help="memory-timing kernel backend: 'python' (pure numpy SoA "
+        "reference), 'compiled' (numba-jitted when installed, else the "
+        "interpreted fallback), or 'auto' (compiled when numba imports, "
+        "python otherwise); results are byte-identical across backends "
+        "and the choice never affects cache keys",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -242,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
         "writes this to $GITHUB_STEP_SUMMARY)",
     )
     perf_parser.add_argument("--verbose", action="store_true")
+    _add_backend_flag(perf_parser)
 
     golden_parser = subparsers.add_parser(
         "golden",
@@ -265,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write {python, scenarios: {name: sha256}} JSON to FILE",
     )
+    _add_backend_flag(golden_parser)
 
     lint_parser = subparsers.add_parser(
         "lint",
@@ -321,6 +337,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         cache_dir=args.cache_dir,
         validate_every=getattr(args, "validate_every", 0),
         policies=getattr(args, "policy", None),
+        mem_backend=getattr(args, "mem_backend", "auto"),
     )
 
 
@@ -451,11 +468,15 @@ def _perf(args: argparse.Namespace) -> int:
 
     progress = print if args.verbose else None
     payload = run_kernel_benchmark(
-        quick=args.quick, repeats=args.repeats, progress=progress
+        quick=args.quick,
+        repeats=args.repeats,
+        progress=progress,
+        backend=args.mem_backend,
     )
     for scenario in payload["scenarios"]:
         print(
             f"{scenario['name']:<8}"
+            f"{scenario['backend']:<10}"
             f"{scenario['events']:>10,} events  "
             f"{scenario['events_per_sec']:>11,.0f} events/sec  "
             f"{scenario['requests_per_sec']:>10,.0f} requests/sec"
@@ -515,7 +536,7 @@ def _golden(args: argparse.Namespace) -> int:
 
     from repro.sim.golden import check_against_blobs, golden_digests
 
-    digests = golden_digests()
+    digests = golden_digests(mem_backend=args.mem_backend)
     for name, digest in sorted(digests.items()):
         print(f"{name:<16} sha256:{digest}")
     if args.out is not None:
@@ -532,7 +553,7 @@ def _golden(args: argparse.Namespace) -> int:
         )
         print(f"wrote {args.out}")
     if args.check is not None:
-        problems = check_against_blobs(args.check)
+        problems = check_against_blobs(args.check, mem_backend=args.mem_backend)
         if problems:
             for name, problem in sorted(problems.items()):
                 print(f"GOLDEN MISMATCH: {name}: {problem}", file=sys.stderr)

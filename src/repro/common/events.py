@@ -44,6 +44,14 @@ class EventQueue:
         #: Fast lane for ``schedule(self.now, cb)``: appends straight to
         #: the same-cycle FIFO with no Python frame.  Hot producers (the
         #: channel kick, posted-write acceptance) bind this once.
+        #:
+        #: The symmetric fast lane for *future* events is the inline-push
+        #: contract: a hot producer that can prove ``cycle > now`` may
+        #: push ``(cycle, self._seq, callback)`` onto ``self._heap`` with
+        #: ``heapq.heappush`` directly and then increment ``self._seq``,
+        #: skipping :meth:`schedule`'s frame and compare.  The channel
+        #: tick, the core dispatch loop, and the controller's STC-hit
+        #: path use it; everything else goes through :meth:`schedule`.
         self.schedule_now: Callable[[Callback], None] = self._fifo.append
 
     @property
@@ -114,11 +122,19 @@ class EventQueue:
             while heap or fifo:
                 if fifo and (not heap or heap[0][0] > now):
                     popleft()(now)
+                    processed += 1
+                    # Same-cycle drain: a callback can only add heap
+                    # events beyond ``now`` (same-cycle schedules land on
+                    # the FIFO), so the guard above stays true until the
+                    # FIFO empties — no need to re-check the heap head.
+                    while fifo:
+                        popleft()(now)
+                        processed += 1
                 else:
                     entry = heappop(heap)
                     self._now = now = entry[0]
                     entry[2](now)
-                processed += 1
+                    processed += 1
             return processed
 
         limit = max_events if max_events is not None else -1
@@ -133,11 +149,21 @@ class EventQueue:
                     )
                 if fifo and (not heap or heap[0][0] > now):
                     popleft()(now)
+                    processed += 1
+                    # Same-cycle drain (see the unbounded loop above).
+                    while fifo:
+                        if processed == limit:
+                            raise SimulationError(
+                                f"event budget of {max_events} exhausted; "
+                                "likely a hang"
+                            )
+                        popleft()(now)
+                        processed += 1
                 else:
                     entry = heappop(heap)
                     self._now = now = entry[0]
                     entry[2](now)
-                processed += 1
+                    processed += 1
             return processed
 
         while heap or fifo:

@@ -51,7 +51,8 @@ class ProFessPolicy(MDMPolicy):
             # Same program on both sides (or vacant M1): plain MDM.
             self.case_counts["same"] += 1
             return self._decide_m2(ctx, m1_vacant=c_m1 is None)
-        rsm = getattr(self._controller, "rsm", None)
+        controller = self._controller
+        rsm = controller.rsm if controller is not None else None
         if rsm is None or rsm.sf_a[c_m1] is None or rsm.sf_a[c_m2] is None:
             self.case_counts["default"] += 1
             return self._decide_m2(ctx, m1_vacant=False)

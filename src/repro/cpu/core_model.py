@@ -21,6 +21,7 @@ path touches exactly three list elements per request.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import Callable, Optional
 
 from repro.common.config import CoreConfig
@@ -70,7 +71,6 @@ class TraceCore:
         "_retired_base",
         "_mlp",
         "_write_buffer",
-        "_schedule",
         "_issue_next_cb",
         "_dispatch_cb",
         "_on_read_complete_cb",
@@ -107,7 +107,6 @@ class TraceCore:
         self._load_chunk(0)
         self._mlp = config.mlp
         self._write_buffer = config.write_buffer
-        self._schedule = events.schedule
         # Pre-bound callbacks: one bound-method object reused for every
         # event instead of a fresh binding per schedule call.
         self._issue_next_cb = self._issue_next
@@ -190,7 +189,14 @@ class TraceCore:
             cursor = 0
         compute_cycles = self._cycles[cursor]
         if compute_cycles > 0:
-            self._schedule(now + compute_cycles, self._dispatch_cb)
+            # Inline-push contract (events.py): compute_cycles > 0, so
+            # the dispatch lands a strictly-future cycle.
+            events = self.events
+            seq = events._seq
+            _heappush(
+                events._heap, (now + compute_cycles, seq, self._dispatch_cb)
+            )
+            events._seq = seq + 1
             return
         self._dispatch(now)
 
@@ -235,7 +241,14 @@ class TraceCore:
                 writes = self._writes
             compute_cycles = cycles[cursor]
             if compute_cycles > 0:
-                self._schedule(now + compute_cycles, self._dispatch_cb)
+                # Inline-push contract (events.py): strictly future.
+                events = self.events
+                seq = events._seq
+                _heappush(
+                    events._heap,
+                    (now + compute_cycles, seq, self._dispatch_cb),
+                )
+                events._seq = seq + 1
                 return
 
     def _on_read_complete(self, now: int) -> None:

@@ -62,6 +62,7 @@ class ExperimentRunner:
         cache_dir: Optional[str | Path] = None,
         validate_every: int = 0,
         policies: Optional[Sequence[str]] = None,
+        mem_backend: str = "auto",
     ) -> None:
         self.scale = scale
         self.multi_requests = multi_requests
@@ -87,6 +88,11 @@ class ExperimentRunner:
             if policies
             else None
         )
+        #: Memory-timing kernel backend baked into every config this
+        #: runner builds ("auto"/"python"/"compiled").  Excluded from
+        #: ``SystemConfig.cache_token()``, so switching backends reuses
+        #: cached results — the backends are byte-identical by contract.
+        self.mem_backend = mem_backend
         self.cache = (
             ResultCache(cache_dir) if cache_dir is not None else None
         )
@@ -103,12 +109,14 @@ class ExperimentRunner:
     def quad_config(self, **overrides) -> SystemConfig:
         """The multi-program system (Table 8), at this runner's scale."""
         config = paper_quad_core(scale=self.scale)
-        return replace(config, **overrides) if overrides else config
+        overrides.setdefault("mem_backend", self.mem_backend)
+        return replace(config, **overrides)
 
     def single_config(self, **overrides) -> SystemConfig:
         """The single-program system (Section 4.1), at this runner's scale."""
         config = paper_single_core(scale=self.scale)
-        return replace(config, **overrides) if overrides else config
+        overrides.setdefault("mem_backend", self.mem_backend)
+        return replace(config, **overrides)
 
     # ------------------------------------------------------------------
     # Traces

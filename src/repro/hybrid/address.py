@@ -33,10 +33,22 @@ from repro.mem.request import DeviceAddress, Module
 
 @dataclass(frozen=True)
 class BlockLocation:
-    """Where a block currently lives: channel + device address."""
+    """Where a block currently lives: channel + device address.
+
+    ``bank_key`` and ``row`` are the columnar spellings the channel's
+    SoA enqueue path consumes directly (``bank_key = module *
+    banks_per_rank + bank``); they are precomputed once per memoized
+    location so the per-request path reads two plain ints instead of
+    re-deriving them from ``address``.
+    """
 
     channel: int
     address: DeviceAddress
+    #: Global bank key within the channel (module * banks_per_rank + bank).
+    bank_key: int = 0
+    #: Device row (negative namespace for ST entries), duplicated from
+    #: ``address.row`` for flat access.
+    row: int = 0
 
 
 def _mask_and_shift(value: int) -> tuple[int, int] | None:
@@ -175,7 +187,12 @@ class AddressMap:
         row_global = block_index // self.blocks_per_row
         bank = row_global % self.banks
         row = row_global // self.banks
-        result = BlockLocation(channel, DeviceAddress(module, bank, row))
+        result = BlockLocation(
+            channel,
+            DeviceAddress(module, bank, row),
+            module * self.banks + bank,
+            row,
+        )
         self._data_locations[key] = result
         return result
 
@@ -194,6 +211,8 @@ class AddressMap:
         row_global = line // self.st_lines_per_row
         bank = row_global % self.banks
         row = -1 - (row_global // self.banks)
-        result = BlockLocation(channel, DeviceAddress(Module.M1, bank, row))
+        result = BlockLocation(
+            channel, DeviceAddress(Module.M1, bank, row), bank, row
+        )
         self._st_locations[group] = result
         return result

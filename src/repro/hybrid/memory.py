@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
+from heapq import heappush as _heappush
 from typing import Callable, Optional
 
 import numpy as np
@@ -33,10 +34,16 @@ from repro.hybrid.regions import OSAllocator, RegionMap
 from repro.hybrid.st import SwapGroupTable
 from repro.mem.channel import Channel
 from repro.mem.power import EnergyMeter
-from repro.mem.request import MemRequest, RequestKind
 from repro.policies.base import AccessContext, MigrationPolicy
 
 CompletionCallback = Callable[[int], None]
+
+# Integer request kinds as the columnar channel path spells them
+# (== RequestKind.DATA/ST_READ/ST_WRITE, kept as plain ints so the
+# per-request path pushes literals instead of enum attributes).
+_KIND_DATA = 0
+_KIND_ST_READ = 1
+_KIND_ST_WRITE = 2
 
 
 @dataclass(slots=True)
@@ -94,10 +101,18 @@ class HybridMemoryController:
         "_stc_lookup",
         "_stc_peek",
         "_group_and_slot_of_line",
-        "_region_of_group",
+        "_fast_addr",
+        "_lines_shift",
+        "_groups_mask",
+        "_groups_shift",
+        "_region_of_v",
         "_data_location",
+        "_data_loc_cache",
+        "_group_size",
+        "_enqueue_soa",
         "_frame_owners",
         "_private_region",
+        "_private_of",
         "_rsm_on_request",
         "_policy_on_access",
         "_ctx",
@@ -112,6 +127,7 @@ class HybridMemoryController:
         track_rsm_regions: bool = False,
         rng: Optional[np.random.Generator] = None,
         program_of_core: Optional[list[int]] = None,
+        mem_backend: Optional[str] = None,
     ) -> None:
         self.config = config
         self.events = events
@@ -143,9 +159,14 @@ class HybridMemoryController:
                 swap_latency=swap_latency,
                 lines_per_block=config.hybrid.lines_per_block,
                 row_idle_close=cpu_cycles_from_ns(config.row_idle_close_ns),
+                backend=mem_backend if mem_backend is not None else config.mem_backend,
             )
             for _ in range(config.num_channels)
         ]
+        # Bound columnar-enqueue methods, one per channel: the request
+        # path indexes this list instead of re-binding ``enqueue_soa``
+        # per request.
+        self._enqueue_soa = [channel.enqueue_soa for channel in self.channels]
         self.st = SwapGroupTable(config.total_groups, config.hybrid.group_size)
         # Composable policy axes (repro.policies.registry): the policy
         # instance carries its resolved swap style / bypass rate / STC
@@ -203,10 +224,44 @@ class HybridMemoryController:
         self._stc_lookup = self.stc.lookup
         self._stc_peek = self.stc.peek
         self._group_and_slot_of_line = self.address_map.group_and_slot_of_line
-        self._region_of_group = self.address_map.region_of_group
+        # Power-of-two address split, inlined into ``access`` (always
+        # taken for the paper geometry); non-power-of-two configurations
+        # fall back to the fused AddressMap method.
+        lines_ms = self.address_map._lines_ms
+        groups_ms = self.address_map._groups_ms
+        self._fast_addr = lines_ms is not None and groups_ms is not None
+        if self._fast_addr:
+            self._lines_shift = lines_ms[1]
+            self._groups_mask, self._groups_shift = groups_ms
+        else:
+            self._lines_shift = self._groups_mask = self._groups_shift = 0
+        # Region of every group, tabulated once: ``_serve`` replaces the
+        # per-request arithmetic call with one buffer index.
+        self._region_of_v = memoryview(
+            np.fromiter(
+                (
+                    self.address_map.region_of_group(group)
+                    for group in range(config.total_groups)
+                ),
+                dtype=np.int64,
+                count=config.total_groups,
+            )
+        )
         self._data_location = self.address_map.data_location
+        # The translation memo itself, so the hit path (every request
+        # after the first touch of a location) is a dict probe here
+        # instead of a method call; misses fall back to the method.
+        self._data_loc_cache = self.address_map._data_locations
+        self._group_size = config.hybrid.group_size
         self._frame_owners = self.allocator.frame_owners
         self._private_region = self.region_map.private_region
+        # Per-program private-region ids as a list: the region map never
+        # reassigns private regions after construction, and the request
+        # path compares one per served request.
+        self._private_of = [
+            self._private_region.get(program, -1)
+            for program in range(self.num_programs)
+        ]
         self._rsm_on_request = self.rsm.on_request
         self._policy_on_access = policy.on_access
         # One reusable AccessContext, mutated per request.  Safe because
@@ -253,13 +308,28 @@ class HybridMemoryController:
         on_complete: Optional[CompletionCallback] = None,
     ) -> None:
         """Serve one 64-B demand request at an original physical ``line``."""
-        _block, group, slot = self._group_and_slot_of_line(line)
+        if self._fast_addr:
+            block = line >> self._lines_shift
+            group = block & self._groups_mask
+            slot = block >> self._groups_shift
+        else:
+            _block, group, slot = self._group_and_slot_of_line(line)
         events = self.events
         # One reusable bound method under a partial instead of a fresh
         # closure per request: same callback shape, far less allocation.
         proceed = partial(self._serve, core_id, group, slot, is_write, on_complete)
         if self._stc_lookup(group) is not None:
-            events.schedule(events.now + self._stc_latency, proceed)
+            # Inline-push contract (events.py): the STC hit lands a
+            # strictly-future cycle (latency_cycles > 0), so it goes
+            # straight onto the heap.  ``events._now`` directly: the
+            # ``now`` property costs a descriptor call per request here.
+            latency = self._stc_latency
+            if latency:
+                seq = events._seq
+                _heappush(events._heap, (events._now + latency, seq, proceed))
+                events._seq = seq + 1
+            else:
+                events._fifo.append(proceed)
         else:
             self._fetch_st_entry(core_id, group, proceed)
 
@@ -274,15 +344,14 @@ class HybridMemoryController:
         pending = _PendingFetch(continuations=[continuation])
         self._pending_fetches[group] = pending
         location = self.address_map.st_location(group)
-        request = MemRequest(
-            core_id=core_id,
-            address=location.address,
-            is_write=False,
-            arrival=self.events.now,
-            kind=RequestKind.ST_READ,
-            on_complete=partial(self._fill_st_entry, group),
+        self._enqueue_soa[location.channel](
+            location.bank_key,
+            location.row,
+            False,
+            self.events.now,
+            _KIND_ST_READ,
+            partial(self._fill_st_entry, group),
         )
-        self.channels[location.channel].enqueue(request)
 
     def _fill_st_entry(self, group: int, cycle: int) -> None:
         """ST-entry fetch completion: fill the STC, release waiters."""
@@ -327,11 +396,11 @@ class HybridMemoryController:
         # RSM request counters (Table 3): one count per request, routed
         # to the requesting core's *program* (Section 3.1.1).
         program = self.program_of_core[core_id]
-        region = self._region_of_group(group)
+        region = self._region_of_v[group]
         self._rsm_on_request(
             program,
             region,
-            self._private_region.get(program) == region,
+            self._private_of[program] == region,
             served_from_m1,
         )
 
@@ -360,7 +429,11 @@ class HybridMemoryController:
         ctx.now = now
         promote_slot = self._policy_on_access(ctx)
 
-        block_location = self._data_location(group, location)
+        block_location = self._data_loc_cache.get(
+            group * self._group_size + location
+        )
+        if block_location is None:
+            block_location = self._data_location(group, location)
 
         if (
             promote_slot is None
@@ -380,15 +453,14 @@ class HybridMemoryController:
                 self._complete_and_promote, group, promote_slot, on_complete
             )
 
-        request = MemRequest(
-            core_id,
-            block_location.address,
+        self._enqueue_soa[block_location.channel](
+            block_location.bank_key,
+            block_location.row,
             is_write,
             now,
-            RequestKind.DATA,
+            _KIND_DATA,
             on_data_complete,
         )
-        self.channels[block_location.channel].enqueue(request)
 
     def _complete_and_promote(
         self,
@@ -480,18 +552,20 @@ class HybridMemoryController:
     def _on_stc_eviction(self, stc_entry: STCEntry) -> None:
         st_entry = stc_entry.st_entry or self.st.entry(stc_entry.group)
         self.policy.on_st_eviction(stc_entry, st_entry)
-        if any(count > 0 for count in stc_entry.counters):
+        # max() over the 9 resident counters instead of a generator-any:
+        # counters are non-negative, and evictions are frequent enough
+        # under STC pressure for the generator frame to show up.
+        if max(stc_entry.counters) > 0:
             # QAC values changed: write the ST entry back to M1 (the paper
             # notes this read-modify-write is typical regardless, Sec. 3.2.1).
             location = self.address_map.st_location(stc_entry.group)
-            request = MemRequest(
-                core_id=0,
-                address=location.address,
-                is_write=True,
-                arrival=self.events.now,
-                kind=RequestKind.ST_WRITE,
+            self._enqueue_soa[location.channel](
+                location.bank_key,
+                location.row,
+                True,
+                self.events.now,
+                _KIND_ST_WRITE,
             )
-            self.channels[location.channel].enqueue(request)
 
     # ------------------------------------------------------------------
     # End-of-run bookkeeping and aggregate statistics

@@ -23,7 +23,11 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.common.errors import ReproError
-from repro.lint.hotpath import HOT_CLASSES, HOT_FUNCTIONS
+from repro.lint.hotpath import (
+    HOT_BATCH_FUNCTIONS,
+    HOT_CLASSES,
+    HOT_FUNCTIONS,
+)
 
 
 class LintError(ReproError):
@@ -463,6 +467,7 @@ def lint_sources(
     ignore: Optional[str] = None,
     hot_classes: Optional[frozenset[str]] = None,
     hot_functions: Optional[frozenset[str]] = None,
+    batch_functions: Optional[frozenset[str]] = None,
 ) -> list[Finding]:
     """Lint in-memory sources: ``{module: (display_path, source)}``."""
     from repro.lint.rules import check_manifest, check_module
@@ -471,6 +476,9 @@ def lint_sources(
     ignore_rules = _parse_rule_list(ignore)
     hot_classes = HOT_CLASSES if hot_classes is None else hot_classes
     hot_functions = HOT_FUNCTIONS if hot_functions is None else hot_functions
+    batch_functions = (
+        HOT_BATCH_FUNCTIONS if batch_functions is None else batch_functions
+    )
 
     index = ProjectIndex()
     infos: list[ModuleInfo] = []
@@ -493,10 +501,16 @@ def lint_sources(
         index.add_module(info)
 
     for info in infos:
-        raw = check_module(info, index, hot_classes, hot_functions)
+        raw = check_module(
+            info, index, hot_classes, hot_functions, batch_functions
+        )
         suppressions = parse_suppressions(info.source)
         findings.extend(f for f in raw if not suppressions.suppressed(f))
-    findings.extend(check_manifest(index, hot_classes, hot_functions))
+    # Batch functions are (by construction) also hot functions, but the
+    # union keeps H200 honest for custom manifests where they diverge.
+    findings.extend(
+        check_manifest(index, hot_classes, hot_functions | batch_functions)
+    )
 
     findings = [
         f

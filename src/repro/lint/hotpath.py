@@ -1,4 +1,4 @@
-"""The hot-path manifest: the perf contract behind DESIGN.md §10.
+"""The hot-path manifest: the perf contract behind DESIGN.md §10/§14.
 
 PR 2's kernel fast path assumes a specific set of structs stays *slim*
 (``__slots__``, fixed attribute sets) and a specific set of functions
@@ -12,6 +12,12 @@ create every instance attribute inside ``__init__`` (H202).  Adding a
 function here forbids introducing f-strings, logging/print calls, or
 try/except inside its body (H203; f-strings inside ``raise`` statements
 are exempt — the error path is allowed to format).
+
+The columnar memory kernel (DESIGN.md §14) adds a third obligation:
+functions in :data:`HOT_BATCH_FUNCTIONS` form the fused per-tick loop
+over the structure-of-arrays queues and must stay *allocation-free* —
+no container displays/constructors, comprehensions, lambdas, closures,
+``functools.partial``, or project-class construction per event (H204).
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ HOT_CLASSES: frozenset[str] = frozenset(
         "repro.hybrid.st.SwapGroupTable",
         "repro.hybrid.st_entry.STEntry",
         "repro.mem.bank.Bank",
+        "repro.mem.batch.RequestBatch",
         "repro.mem.channel.Channel",
         "repro.mem.channel.ChannelStats",
         "repro.mem.channel.ModuleState",
@@ -56,9 +63,31 @@ HOT_FUNCTIONS: frozenset[str] = frozenset(
         "repro.cpu.core_model.TraceCore._refill",
         "repro.hybrid.memory.HybridMemoryController._serve",
         "repro.hybrid.memory.HybridMemoryController.access",
-        "repro.mem.channel.Channel._issue",
-        "repro.mem.channel.Channel._tick",
+        "repro.mem.backend.mem_tick",
+        "repro.mem.batch.RequestBatch.push",
+        "repro.mem.batch.RequestBatch.pop_at",
+        "repro.mem.channel.Channel._tick_kernel",
+        "repro.mem.channel.Channel._tick_python",
         "repro.mem.channel.Channel.enqueue",
+        "repro.mem.channel.Channel.enqueue_soa",
         "repro.mem.scheduler.FrFcfsCapScheduler.select",
+        "repro.mem.scheduler.FrFcfsCapScheduler.select_batched",
+    }
+)
+
+#: The fused batched tick loop: one call per scheduling decision over
+#: the SoA columns.  H204 bans per-request object allocation inside —
+#: container displays/constructors, comprehensions, lambdas, nested
+#: functions, ``functools.partial``, and project-class construction.
+#: (All of these are also H203 hot functions.)
+HOT_BATCH_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "repro.mem.backend.mem_tick",
+        "repro.mem.batch.RequestBatch.pop_at",
+        "repro.mem.batch.RequestBatch.push",
+        "repro.mem.channel.Channel._tick_kernel",
+        "repro.mem.channel.Channel._tick_python",
+        "repro.mem.channel.Channel.enqueue_soa",
+        "repro.mem.scheduler.FrFcfsCapScheduler.select_batched",
     }
 )

@@ -46,6 +46,9 @@ RULES: dict[str, str] = {
     "H202": "attribute not in __slots__ assigned on a slotted class",
     "H203": "f-string, logging/print, or try/except inside a hot-path "
     "function (error-path raise excepted)",
+    "H204": "per-request object allocation (container display, "
+    "comprehension, lambda/nested def, allocating constructor) inside a "
+    "batched tick-loop function (error-path raise excepted)",
     "C301": "bare `except:` (swallows SystemExit/KeyboardInterrupt)",
     "C302": "mutable default argument",
     "C303": "raised exception does not derive from ReproError",
@@ -111,6 +114,26 @@ _BANNED_BUILTIN_RAISES = frozenset(
 )
 
 
+#: Allocating constructors banned inside batched tick-loop functions
+#: (H204).  Method calls (``free.pop()``, ``queue._grow()``) stay legal:
+#: the rule targets fresh per-event objects, not reuse of preallocated
+#: state.
+_BATCH_ALLOC_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "frozenset",
+        "tuple",
+        "bytearray",
+        "deque",
+        "collections.deque",
+        "partial",
+        "functools.partial",
+    }
+)
+
+
 #: Concrete policy classes C305 refuses to see constructed outside the
 #: policy packages: direct construction bypasses the registry's axis
 #: resolution and canonical naming (repro.policies.registry).
@@ -159,11 +182,13 @@ class _Checker(ast.NodeVisitor):
         index: ProjectIndex,
         hot_classes: frozenset[str],
         hot_functions: frozenset[str],
+        batch_functions: frozenset[str] = frozenset(),
     ) -> None:
         self.info = info
         self.index = index
         self.hot_classes = hot_classes
         self.hot_functions = hot_functions
+        self.batch_functions = batch_functions
         self.findings: list[Finding] = []
         self.sim_scope = _in_sim_scope(info.module)
         self.annotated_scope = _in_annotated_scope(info.module)
@@ -175,6 +200,9 @@ class _Checker(ast.NodeVisitor):
         self._func_stack: list[str] = []
         #: Depth of enclosing hot-path functions (H203 active when > 0).
         self._hot_depth = 0
+        #: Depth of enclosing batched tick-loop functions (H204 active
+        #: when > 0).
+        self._batch_depth = 0
         #: Depth of enclosing Raise statements (f-strings exempt inside).
         self._raise_depth = 0
         #: Slot unions of enclosing slotted classes (None = H202 off).
@@ -270,6 +298,26 @@ class _Checker(ast.NodeVisitor):
                         node,
                         f"{resolved}() call inside a hot-path function",
                     )
+            if self._batch_depth > 0 and self._raise_depth == 0:
+                if resolved in _BATCH_ALLOC_CALLS:
+                    self._emit(
+                        "H204",
+                        node,
+                        f"{resolved}() allocates inside a batched tick "
+                        "loop: reuse preallocated SoA state instead",
+                    )
+                elif (
+                    resolved in self.index.classes
+                    or f"{self.info.module}.{resolved}"
+                    in self.index.classes
+                ):
+                    self._emit(
+                        "H204",
+                        node,
+                        f"{resolved} constructed inside a batched tick "
+                        "loop: per-request objects defeat the columnar "
+                        "layout",
+                    )
             if (
                 not self.policy_scope
                 and resolved.rsplit(".", 1)[-1] in _POLICY_CLASSES
@@ -339,6 +387,48 @@ class _Checker(ast.NodeVisitor):
                         "id() as a dict key: object addresses vary "
                         "across runs",
                     )
+        self._check_batch_alloc(node, "dict display")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # H204: allocation inside batched tick-loop functions
+    # ------------------------------------------------------------------
+    def _check_batch_alloc(self, node: ast.AST, what: str) -> None:
+        if self._batch_depth > 0 and self._raise_depth == 0:
+            self._emit(
+                "H204",
+                node,
+                f"{what} inside a batched tick loop: the SoA fast path "
+                "must not allocate per request",
+            )
+
+    def visit_List(self, node: ast.List) -> None:
+        if not isinstance(node.ctx, ast.Store):
+            self._check_batch_alloc(node, "list display")
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._check_batch_alloc(node, "set display")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_batch_alloc(node, "list comprehension")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_batch_alloc(node, "set comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_batch_alloc(node, "dict comprehension")
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_batch_alloc(node, "generator expression")
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_batch_alloc(node, "lambda (allocates a closure)")
         self.generic_visit(node)
 
     # ------------------------------------------------------------------
@@ -398,8 +488,13 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        # The annotation subtree is skipped: under ``from __future__
+        # import annotations`` it never evaluates, so e.g. the ``[int]``
+        # in ``Callable[[int], None]`` is not an allocation (H204).
         self._check_self_assignment(node.target)
-        self.generic_visit(node)
+        self.visit(node.target)
+        if node.value is not None:
+            self.visit(node.value)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_self_assignment(node.target)
@@ -475,11 +570,34 @@ class _Checker(ast.NodeVisitor):
         self._check_annotations(node)
         qualified = self._qualname(node.name)
         is_hot = qualified in self.hot_functions
+        is_batch = qualified in self.batch_functions
+        if self._batch_depth > 0 and not is_batch:
+            self._emit(
+                "H204",
+                node,
+                f"nested function {node.name}() inside a batched tick "
+                "loop allocates a function object per call",
+            )
         if is_hot:
             self._hot_depth += 1
+        if is_batch:
+            self._batch_depth += 1
         self._func_stack.append(node.name)
-        self.generic_visit(node)
+        # Visit children selectively: parameter/return annotations never
+        # evaluate at runtime (future annotations), so their subtrees
+        # must not trip allocation rules like H204.
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for default in node.args.defaults:
+            self.visit(default)
+        for default in node.args.kw_defaults:
+            if default is not None:
+                self.visit(default)
+        for statement in node.body:
+            self.visit(statement)
         self._func_stack.pop()
+        if is_batch:
+            self._batch_depth -= 1
         if is_hot:
             self._hot_depth -= 1
 
@@ -567,9 +685,12 @@ def check_module(
     index: ProjectIndex,
     hot_classes: frozenset[str],
     hot_functions: frozenset[str],
+    batch_functions: frozenset[str] = frozenset(),
 ) -> list[Finding]:
     """All findings for one parsed module (suppressions not yet applied)."""
-    checker = _Checker(info, index, hot_classes, hot_functions)
+    checker = _Checker(
+        info, index, hot_classes, hot_functions, batch_functions
+    )
     checker.visit(info.tree)
     return checker.findings
 

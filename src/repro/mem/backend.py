@@ -1,0 +1,254 @@
+"""Pluggable backend for the fused channel tick kernel (DESIGN.md §14).
+
+The channel advances in *ticks*: one FR-FCFS-Cap scheduling decision,
+one refresh catch-up, one bank-timing update, one data burst.  On the
+columnar layout of :mod:`repro.mem.batch` that whole decision is pure
+integer arithmetic over ``int64`` arrays, so it can be compiled.  This
+module owns backend selection and the kernel itself:
+
+* ``python`` — the channel's hand-tuned interpreted tick
+  (:meth:`repro.mem.channel.Channel._tick_python`); always available
+  and the reference implementation.
+* ``compiled`` — the fused :func:`mem_tick` kernel below, jitted with
+  numba when importable.  numba is an *optional* extra
+  (``pip install repro[compiled]``); when it is absent the same kernel
+  function runs interpreted, so forcing ``--mem-backend compiled``
+  degrades gracefully to a slower-but-correct run instead of crashing.
+* ``auto`` — ``compiled`` iff numba imports cleanly, else ``python``.
+
+The backend contract: for any sequence of ticks over the same queue and
+bank arrays, both backends perform *identical state transitions* —
+``profess golden --check`` must be byte-identical across them (enforced
+by the CI backend-parity job), which is also why the choice is excluded
+from cache keys.
+
+One call per tick keeps the dispatch overhead of the jitted kernel
+amortized: selection, dequeue, refresh, and timing update are fused,
+and results return through a caller-preallocated ``out`` array
+(:data:`OUT_*` indices) so no Python objects are built per event.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.config import MEM_BACKENDS
+from repro.common.errors import InvalidValueError
+from repro.mem.batch import NO_ROW
+
+#: ``out`` array indices filled by :func:`mem_tick` (one int64 each).
+OUT_SLOT = 0  # slot of the issued request
+OUT_MODULE = 1  # module (0 = M1, 1 = M2) that served it
+OUT_BURST_END = 2  # completion cycle of the data burst
+OUT_ROW_HIT = 3  # 1 if served from the open row buffer
+OUT_ACTIVATED = 4  # 1 if a row activation was performed
+OUT_REFRESHES = 5  # all-bank refresh cycles applied this tick
+OUT_STREAK = 6  # updated FR-FCFS-Cap row-hit streak
+OUT_BUS_FREE_AT = 7  # updated channel data-bus availability
+OUT_NEXT_REFRESH = 8  # updated next-refresh cycle of OUT_MODULE
+OUT_SIZE = 9
+
+#: Columns of the per-module timing table handed to the kernel.
+TIMING_CL = 0
+TIMING_T_RCD = 1
+TIMING_T_RP = 2
+TIMING_T_WR = 3
+TIMING_LINE_BURST = 4
+TIMING_T_RFC = 5
+TIMING_T_REFI = 6
+TIMING_COLUMNS = 7
+
+_numba_njit: Optional[Callable] = None
+_numba_checked = False
+_kernel: Optional[Callable] = None
+
+
+def compiled_available() -> bool:
+    """True when numba imports cleanly (the kernel can actually be jitted)."""
+    global _numba_checked, _numba_njit
+    if not _numba_checked:
+        _numba_checked = True
+        try:  # graceful fallback: numba is an optional extra
+            from numba import njit
+        except Exception:  # pragma: no cover - depends on environment
+            _numba_njit = None
+        else:
+            _numba_njit = njit
+    return _numba_njit is not None
+
+
+def resolve_backend(name: str) -> str:
+    """Map a requested backend name to the one that will run.
+
+    ``auto`` picks ``compiled`` only when numba is importable.  An
+    explicit ``compiled`` is honored even without numba — the same
+    kernel runs interpreted (identical results, no hard dependency) —
+    so the compiled code path is testable everywhere.
+    """
+    if name not in MEM_BACKENDS:
+        raise InvalidValueError(
+            f"mem backend must be one of {MEM_BACKENDS}, got {name!r}"
+        )
+    if name == "auto":
+        return "compiled" if compiled_available() else "python"
+    return name
+
+
+def mem_tick(
+    order,
+    count,
+    bank_key,
+    row,
+    is_write,
+    open_row,
+    ready_at,
+    dirty,
+    closed_until,
+    timings,
+    banks,
+    streak,
+    cap,
+    now,
+    bus_free_at,
+    blocked_until,
+    next_refresh_m1,
+    next_refresh_m2,
+    row_idle_close,
+    out,
+) -> None:
+    """One fused channel tick over the columnar state (both backends).
+
+    Mirrors ``Channel._tick_python`` step for step: FR-FCFS-Cap
+    selection against pre-refresh bank state, dequeue (order shift),
+    lazy refresh catch-up for the chosen module, idle-close, bank
+    preparation, and the data burst.  Plain-int arithmetic only so that
+    numba compiles it in nopython mode; results land in ``out``.
+    """
+    # --- FR-FCFS-Cap selection (bank state BEFORE refresh, exactly as
+    # the scalar scheduler saw it) ---
+    if count == 1:
+        chosen = 0
+        slot = order[0]
+        if open_row[bank_key[slot]] == row[slot]:
+            streak += 1
+        else:
+            streak = 0
+    else:
+        chosen = -1
+        if streak < cap:
+            index = 0
+            while index < count:
+                slot = order[index]
+                if open_row[bank_key[slot]] == row[slot]:
+                    chosen = index
+                    break
+                index += 1
+        if chosen >= 0:
+            streak += 1
+        else:
+            chosen = 0
+            slot = order[0]
+            if open_row[bank_key[slot]] == row[slot]:
+                streak += 1
+            else:
+                streak = 0
+        slot = order[chosen]
+    # --- dequeue: shift the arrival order over the gap ---
+    last = count - 1
+    index = chosen
+    while index < last:
+        order[index] = order[index + 1]
+        index += 1
+    key = bank_key[slot]
+    module = 1 if key >= banks else 0
+    cl = timings[module, 0]
+    t_rcd = timings[module, 1]
+    t_rp = timings[module, 2]
+    t_wr = timings[module, 3]
+    line_burst = timings[module, 4]
+    t_rfc = timings[module, 5]
+    t_refi = timings[module, 6]
+    # --- lazy all-bank refresh catch-up for the chosen module ---
+    next_refresh = next_refresh_m1 if module == 0 else next_refresh_m2
+    refreshes = 0
+    while now >= next_refresh:
+        end = next_refresh + t_rfc
+        lo = module * banks
+        hi = lo + banks
+        bank = lo
+        while bank < hi:
+            open_row[bank] = NO_ROW
+            dirty[bank] = 0
+            if end > ready_at[bank]:
+                ready_at[bank] = end
+            bank += 1
+        next_refresh += t_refi
+        refreshes += 1
+    # --- bank preparation ---
+    bank_ready = ready_at[key]
+    prep_start = now if now > bank_ready else bank_ready
+    if blocked_until > prep_start:
+        prep_start = blocked_until
+    orow = open_row[key]
+    if (
+        row_idle_close > 0
+        and orow != NO_ROW
+        and prep_start - bank_ready >= row_idle_close
+    ):
+        # Adaptive page policy: background precharge of the idle row.
+        penalty = t_rp + (t_wr if dirty[key] else 0)
+        closed_until[key] = bank_ready + row_idle_close + penalty
+        orow = NO_ROW
+        dirty[key] = 0
+    r = row[slot]
+    w = is_write[slot]
+    activated = 0
+    if orow == r:
+        row_hit = 1
+        data_ready = prep_start + cl
+        new_dirty = 1 if w else dirty[key]
+    else:
+        row_hit = 0
+        precharge = 0
+        if orow != NO_ROW:
+            precharge = t_rp
+            if dirty[key]:
+                precharge += t_wr
+        elif closed_until[key] > prep_start:
+            precharge = closed_until[key] - prep_start
+        data_ready = prep_start + precharge + t_rcd + cl
+        activated = 1
+        new_dirty = 1 if w else 0
+    # --- data burst on the shared channel bus ---
+    burst_start = data_ready if data_ready > bus_free_at else bus_free_at
+    burst_end = burst_start + line_burst
+    open_row[key] = r
+    ready_at[key] = burst_end
+    dirty[key] = new_dirty
+    out[0] = slot
+    out[1] = module
+    out[2] = burst_end
+    out[3] = row_hit
+    out[4] = activated
+    out[5] = refreshes
+    out[6] = streak
+    out[7] = burst_end
+    out[8] = next_refresh
+
+
+def get_tick_kernel() -> Callable:
+    """The ``compiled`` backend's tick: jitted when numba is present.
+
+    Falls back to the interpreted :func:`mem_tick` (same semantics) when
+    numba is unavailable, so an explicit ``--mem-backend compiled`` is
+    never a correctness dependency.  The jitted kernel compiles lazily
+    on first call.
+    """
+    global _kernel
+    if _kernel is None:
+        if compiled_available():
+            assert _numba_njit is not None
+            _kernel = _numba_njit(cache=False)(mem_tick)
+        else:
+            _kernel = mem_tick
+    return _kernel

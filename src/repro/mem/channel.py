@@ -11,19 +11,43 @@ is what makes M2 traffic and swaps interfere with M1 traffic.
 Swaps block the channel for the analytic swap latency (Section 4.1), and
 row-buffer hits do not bypass the FR-FCFS-Cap ordering across a swap (the
 paper modifies the scheduler to ignore row hits during swaps).
+
+Since the columnar refactor (DESIGN.md §14) the channel holds its queues
+as :class:`repro.mem.batch.RequestBatch` columns and its bank state as
+four ``int64`` arrays indexed by the global bank key
+``module * banks_per_rank + bank``.  Each scheduling decision is one
+*fused tick* — selection, dequeue, refresh catch-up, timing update, and
+burst in a single pass over those columns — with two interchangeable
+implementations: ``_tick_python`` (memoryview scalar access, vectorized
+deep-queue scan) and ``_tick_kernel`` (the :mod:`repro.mem.backend`
+kernel, numba-jitted when available).  Both are byte-identical by
+contract; ``profess golden --check`` under each backend enforces it.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush as _heappush
 from typing import Callable, Optional
+
+import numpy as np
 
 from repro.common.config import MemTimings
 from repro.common.events import EventQueue
-from repro.mem.bank import Bank
+from repro.mem.backend import get_tick_kernel, resolve_backend
+from repro.mem.batch import NO_ROW, BankView, RequestBatch
 from repro.mem.power import EnergyMeter
-from repro.mem.request import MemRequest, Module, RequestKind
+from repro.mem.request import MemRequest, Module
 from repro.mem.scheduler import FrFcfsCapScheduler
+
+# Module-level spellings of the channel's tuning constants: the tick
+# paths read them as globals (one dict probe) instead of class-attribute
+# chains.  The class attributes below alias these for the public API.
+_CMD_GAP = 4
+_WRITE_QUEUE_HIGH = 24
+_WRITE_QUEUE_LOW = 8
+_WRITE_QUEUE_CAP = 32
+_VECTOR_SCAN_MIN = 64
 
 
 class ChannelStats:
@@ -61,18 +85,16 @@ class ChannelStats:
 
 
 class ModuleState:
-    """One module's banks plus its timing parameters in CPU cycles.
+    """One module's timing parameters in CPU cycles plus refresh state.
 
     ``MemTimings`` stores nanoseconds and converts per property access;
     the channel issues commands tens of thousands of times per simulated
     millisecond, so the conversions are done once here and the hot path
-    reads plain ints.  This is also the single home for the
-    banks-plus-timings pattern that used to be spelled out twice (once
-    per module) in ``Channel.__init__``.
+    reads plain ints.  Bank state itself lives in the channel's columnar
+    arrays; ``lo:hi`` is this module's bank-key slice of them.
     """
 
     __slots__ = (
-        "banks",
         "cl",
         "t_rcd",
         "t_rp",
@@ -81,10 +103,13 @@ class ModuleState:
         "t_rfc",
         "line_burst",
         "next_refresh",
+        "lo",
+        "hi",
     )
 
-    def __init__(self, timings: MemTimings, banks_per_rank: int) -> None:
-        self.banks = [Bank() for _ in range(banks_per_rank)]
+    def __init__(
+        self, timings: MemTimings, banks_per_rank: int, base: int
+    ) -> None:
         self.cl = timings.cl
         self.t_rcd = timings.t_rcd
         self.t_rp = timings.t_rp
@@ -93,6 +118,8 @@ class ModuleState:
         self.t_rfc = timings.t_rfc
         self.line_burst = timings.line_burst
         self.next_refresh = self.t_refi or (1 << 62)
+        self.lo = base
+        self.hi = base + banks_per_rank
 
 
 class Channel:
@@ -107,13 +134,28 @@ class Channel:
         "_swap_latency",
         "_lines_per_block",
         "_row_idle_close",
-        "_pending",
-        "_write_queue",
+        "_banks_per_rank",
+        "_reads",
+        "_writes",
         "_write_accept_waiters",
         "_draining_writes",
         "_bus_free_at",
         "_blocked_until",
         "_tick_scheduled",
+        "_open_row",
+        "_ready_at",
+        "_dirty",
+        "_closed_until",
+        "_open_row_v",
+        "_ready_at_v",
+        "_dirty_v",
+        "_closed_until_v",
+        "_timing_table",
+        "_backend",
+        "_tick_cb",
+        "_kernel",
+        "_kernel_out",
+        "_kernel_out_v",
         "stats",
     )
 
@@ -128,121 +170,524 @@ class Channel:
         swap_latency: int = 0,
         lines_per_block: int = 32,
         row_idle_close: int = 0,
+        backend: str = "python",
     ) -> None:
         self._events = events
         # Same-cycle scheduling fast lane (the kick and posted-write
-        # acceptance below always fire at the current cycle).
+        # acceptance below always fire at the current cycle) plus the
+        # general scheduler, both bound once for the tick paths.
         self._schedule_now = events.schedule_now
         # Indexed by Module (IntEnum): _modules[Module.M1] is the M1 state.
         self._modules = (
-            ModuleState(m1_timings, banks_per_rank),
-            ModuleState(m2_timings, banks_per_rank),
+            ModuleState(m1_timings, banks_per_rank, 0),
+            ModuleState(m2_timings, banks_per_rank, banks_per_rank),
         )
         self._scheduler = FrFcfsCapScheduler(frfcfs_cap)
         self._energy = energy
         self._swap_latency = swap_latency
         self._lines_per_block = lines_per_block
         self._row_idle_close = row_idle_close
-        self._pending: deque[MemRequest] = deque()
-        self._write_queue: deque[MemRequest] = deque()
+        self._banks_per_rank = banks_per_rank
+        # Columnar bank state, both modules back to back: key =
+        # module * banks_per_rank + bank.  Scalar access goes through
+        # the memoryviews; refresh and deep scans use the arrays.
+        total_banks = 2 * banks_per_rank
+        self._open_row = np.full(total_banks, NO_ROW, dtype=np.int64)
+        self._ready_at = np.zeros(total_banks, dtype=np.int64)
+        self._dirty = np.zeros(total_banks, dtype=np.int64)
+        self._closed_until = np.zeros(total_banks, dtype=np.int64)
+        self._open_row_v = memoryview(self._open_row)
+        self._ready_at_v = memoryview(self._ready_at)
+        self._dirty_v = memoryview(self._dirty)
+        self._closed_until_v = memoryview(self._closed_until)
+        self._reads = RequestBatch()
+        self._writes = RequestBatch()
         self._write_accept_waiters: deque = deque()
         self._draining_writes = False
         self._bus_free_at = 0
         self._blocked_until = 0
         self._tick_scheduled = False
+        # Per-module timing table for the compiled kernel (column
+        # layout: repro.mem.backend.TIMING_*).
+        self._timing_table = np.array(
+            [
+                [ms.cl, ms.t_rcd, ms.t_rp, ms.t_wr, ms.line_burst, ms.t_rfc,
+                 ms.t_refi]
+                for ms in self._modules
+            ],
+            dtype=np.int64,
+        )
+        self._backend = resolve_backend(backend)
+        if self._backend == "compiled":
+            self._kernel = get_tick_kernel()
+            self._tick_cb = self._tick_kernel
+        else:
+            self._kernel = None
+            self._tick_cb = self._tick_python
+        self._kernel_out = np.zeros(16, dtype=np.int64)
+        self._kernel_out_v = memoryview(self._kernel_out)
         self.stats = ChannelStats()
 
-    def bank(self, module: Module, index: int) -> Bank:
+    @property
+    def backend(self) -> str:
+        """The resolved tick backend ("python" or "compiled")."""
+        return self._backend
+
+    def bank(self, module: Module, index: int) -> BankView:
         """One bank's state (inspection helper for tests and policies)."""
-        return self._modules[module].banks[index]
+        return BankView(
+            self._open_row,
+            self._ready_at,
+            self._dirty,
+            self._closed_until,
+            module * self._banks_per_rank + index,
+        )
 
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def enqueue(self, request: MemRequest) -> None:
-        """Accept a request.
+    def enqueue_soa(
+        self,
+        bank_key: int,
+        row: int,
+        is_write: bool,
+        arrival: int,
+        kind: int,
+        on_complete: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Accept a request given directly as column values.
 
-        Reads complete (``on_complete``) at the end of their data burst.
-        Writes are *posted*: they buffer in the controller's write queue,
-        their ``on_complete`` fires at acceptance, and the queue drains in
-        batches under a watermark policy with read priority.  When the
-        write queue is full, acceptance (and thus the issuing core's
-        store buffer) backpressures until entries drain.
+        The allocation-free fast path: callers (the hybrid controller)
+        pass the precomputed global bank key and row instead of building
+        a ``MemRequest``.  Reads complete (``on_complete``) at the end
+        of their data burst.  Writes are *posted*: they buffer in the
+        controller's write queue, their ``on_complete`` fires at
+        acceptance, and the queue drains in batches under a watermark
+        policy with read priority.  When the write queue is full,
+        acceptance (and thus the issuing core's store buffer)
+        backpressures until entries drain.
         """
+        # RequestBatch.push, inlined for both queues: one call frame per
+        # request saved on the hottest producer in the simulator.
+        queue = self._writes if is_write else self._reads
+        free = queue.free
+        if not free:
+            queue._grow()
+            free = queue.free
+        slot = free.pop()
+        queue.bank_key_v[slot] = bank_key
+        queue.row_v[slot] = row
+        queue.arrival_v[slot] = arrival
+        queue.kind_v[slot] = kind
+        count = queue.count
+        queue.order_v[count] = slot
+        queue.count = count + 1
+        if is_write:
+            queue.is_write_v[slot] = 1
+            if on_complete is not None:
+                if queue.count <= _WRITE_QUEUE_CAP:
+                    self._schedule_now(on_complete)
+                else:
+                    self._write_accept_waiters.append(on_complete)
+        else:
+            queue.is_write_v[slot] = 0
+            queue.callbacks[slot] = on_complete
+        if not self._tick_scheduled:
+            self._tick_scheduled = True
+            self._schedule_now(self._tick_cb)
+
+    def enqueue(self, request: MemRequest) -> None:
+        """Accept a :class:`MemRequest` (compat wrapper over the columns).
+
+        Same acceptance semantics as :meth:`enqueue_soa`; additionally
+        the request object's ``completion`` and ``row_hit`` fields are
+        written back when the request is issued.
+        """
+        address = request.address
+        bank_key = address.module * self._banks_per_rank + address.bank
         if request.is_write:
-            self._write_queue.append(request)
+            writes = self._writes
+            writes.push(
+                bank_key, address.row, 1, request.arrival, request.kind,
+                None, request,
+            )
             acceptance = request.on_complete
             request.on_complete = None
             if acceptance is not None:
-                if len(self._write_queue) <= self.WRITE_QUEUE_CAP:
+                if writes.count <= self.WRITE_QUEUE_CAP:
                     self._schedule_now(acceptance)
                 else:
                     self._write_accept_waiters.append(acceptance)
         else:
-            self._pending.append(request)
+            self._reads.push(
+                bank_key, address.row, 0, request.arrival, request.kind,
+                request.on_complete, request,
+            )
         if not self._tick_scheduled:
             self._tick_scheduled = True
-            self._schedule_now(self._tick)
+            self._schedule_now(self._tick_cb)
 
     def queue_depth(self) -> int:
         """Pending (unscheduled) requests, reads + buffered writes."""
-        return len(self._pending) + len(self._write_queue)
-
-    def _is_row_hit(self, request: MemRequest) -> bool:
-        address = request.address
-        bank = self._modules[address.module].banks[address.bank]
-        return bank.open_row == address.row
+        return self._reads.count + self._writes.count
 
     #: Command-bus gap between consecutive scheduling decisions: one
     #: channel cycle (4 CPU cycles at 3.2/0.8 GHz).  Banks prepare in
     #: parallel; only command issue and the data bus serialize.
-    CMD_GAP = 4
+    CMD_GAP = _CMD_GAP
     #: Write-queue watermarks: start draining writes when the queue
     #: reaches the high mark (or no reads are waiting), stop at the low
     #: mark — the standard read-priority write-buffering discipline.
-    WRITE_QUEUE_HIGH = 24
-    WRITE_QUEUE_LOW = 8
+    WRITE_QUEUE_HIGH = _WRITE_QUEUE_HIGH
+    WRITE_QUEUE_LOW = _WRITE_QUEUE_LOW
     #: Posted-write acceptance backpressures beyond this depth.
-    WRITE_QUEUE_CAP = 32
+    WRITE_QUEUE_CAP = _WRITE_QUEUE_CAP
+    #: Queue depth at which the FR-FCFS scan switches from the scalar
+    #: memoryview walk to one vectorized numpy pass.  The scalar walk
+    #: exits at the first hit, so the numpy fixed cost only pays off on
+    #: deep queues; ordinary write-drain bursts (depth <= 32) measure
+    #: faster scalar.
+    VECTOR_SCAN_MIN = _VECTOR_SCAN_MIN
 
-    def _select_queue(self) -> deque:
-        """Pick reads or buffered writes for the next decision."""
-        if not self._pending:
-            self._draining_writes = bool(self._write_queue)
-            return self._write_queue
-        if len(self._write_queue) >= self.WRITE_QUEUE_HIGH:
+    def _select_queue(self) -> RequestBatch:
+        """Pick reads or buffered writes for the next decision.
+
+        Only called from the tick paths with a non-empty write queue;
+        kept as a method for the watermark logic's readability and for
+        direct unit testing.
+        """
+        if not self._reads.count:
             self._draining_writes = True
-        elif self._draining_writes and len(self._write_queue) <= self.WRITE_QUEUE_LOW:
+            return self._writes
+        if self._writes.count >= self.WRITE_QUEUE_HIGH:
+            self._draining_writes = True
+        elif self._draining_writes and self._writes.count <= self.WRITE_QUEUE_LOW:
             self._draining_writes = False
-        return self._write_queue if self._draining_writes else self._pending
+        return self._writes if self._draining_writes else self._reads
 
-    def _tick(self, now: int) -> None:
+    def _tick_python(self, now: int) -> None:
+        """One fused scheduling decision: the pure-Python backend.
+
+        Selection, dequeue, refresh catch-up, bank timing, stats, and
+        completion scheduling in a single pass — no per-request objects,
+        no nested per-event calls.  Mirrored exactly by the compiled
+        kernel (:func:`repro.mem.backend.mem_tick`).
+        """
         self._tick_scheduled = False
-        pending = self._pending
-        write_queue = self._write_queue
-        if write_queue:
-            queue = self._select_queue()
-            if not queue:
-                queue = pending or write_queue
-        elif pending:
+        reads = self._reads
+        writes = self._writes
+        if writes.count:
+            # _select_queue, inlined (kept as a method for unit tests):
+            # the read-priority write-drain watermark policy.
+            if not reads.count or writes.count >= _WRITE_QUEUE_HIGH:
+                self._draining_writes = True
+                queue = writes
+            else:
+                if (
+                    self._draining_writes
+                    and writes.count <= _WRITE_QUEUE_LOW
+                ):
+                    self._draining_writes = False
+                queue = writes if self._draining_writes else reads
+        elif reads.count:
             # Fast path: no buffered writes — reads drain, and any write
             # drain mode ends (exactly what _select_queue would decide).
             self._draining_writes = False
-            queue = pending
+            queue = reads
         else:
             return
-        index = self._scheduler.select(queue, self._is_row_hit)
-        request = queue[index]
-        del queue[index]
+        order = queue.order_v
+        keys = queue.bank_key_v
+        rows = queue.row_v
+        open_row = self._open_row_v
+        count = queue.count
+        scheduler = self._scheduler
+        streak = scheduler._consecutive_hits
+        # --- FR-FCFS-Cap selection (pre-refresh bank state) ---
+        if count == 1:
+            chosen = 0
+            slot = order[0]
+            if open_row[keys[slot]] == rows[slot]:
+                scheduler._consecutive_hits = streak + 1
+            else:
+                scheduler._consecutive_hits = 0
+        else:
+            chosen = -1
+            if streak < scheduler.cap:
+                if count >= _VECTOR_SCAN_MIN:
+                    live = queue.order[:count]
+                    hits = (
+                        self._open_row[queue.bank_key[live]]
+                        == queue.row[live]
+                    )
+                    first = hits.argmax()
+                    if hits[first]:
+                        chosen = int(first)
+                else:
+                    index = 0
+                    while index < count:
+                        slot = order[index]
+                        if open_row[keys[slot]] == rows[slot]:
+                            chosen = index
+                            break
+                        index += 1
+            if chosen >= 0:
+                scheduler._consecutive_hits = streak + 1
+            else:
+                chosen = 0
+                slot = order[0]
+                if open_row[keys[slot]] == rows[slot]:
+                    scheduler._consecutive_hits = streak + 1
+                else:
+                    scheduler._consecutive_hits = 0
+            slot = order[chosen]
+        # --- dequeue: shift the arrival order over the gap ---
+        last = count - 1
+        index = chosen
+        while index < last:
+            order[index] = order[index + 1]
+            index += 1
+        queue.count = last
         if (
             self._write_accept_waiters
-            and len(write_queue) <= self.WRITE_QUEUE_CAP
+            and writes.count <= _WRITE_QUEUE_CAP
         ):
             self._schedule_now(self._write_accept_waiters.popleft())
-        self._issue(request, now)
-        if pending or write_queue:
+        # --- issue: refresh catch-up, bank preparation, data burst ---
+        key = keys[slot]
+        module = 1 if key >= self._banks_per_rank else 0
+        module_state = self._modules[module]
+        if now >= module_state.next_refresh:
+            self._refresh_if_due(module_state, now)
+        ready = self._ready_at_v
+        dirty = self._dirty_v
+        bank_ready = ready[key]
+        prep_start = now if now > bank_ready else bank_ready
+        if self._blocked_until > prep_start:
+            prep_start = self._blocked_until
+        orow = open_row[key]
+        row_idle_close = self._row_idle_close
+        if (
+            row_idle_close > 0
+            and orow != NO_ROW
+            and prep_start - bank_ready >= row_idle_close
+        ):
+            # Adaptive page policy: the controller precharged this idle
+            # row in the background.  The precharge (and write recovery,
+            # for a dirty row) happened off the critical path; only its
+            # tail can still delay a prompt re-activation.
+            penalty = module_state.t_rp + (
+                module_state.t_wr if dirty[key] else 0
+            )
+            self._closed_until_v[key] = bank_ready + row_idle_close + penalty
+            orow = NO_ROW
+            dirty[key] = 0
+        row = rows[slot]
+        is_write = queue.is_write_v[slot]
+        energy = self._energy
+        if orow == row:
+            # Row-buffer hit: CAS only; writes land in the row buffer
+            # and defer their cell-write cost to the eventual precharge.
+            row_hit = True
+            data_ready = prep_start + module_state.cl
+            new_dirty = 1 if is_write else dirty[key]
+        else:
+            row_hit = False
+            precharge = 0
+            if orow != NO_ROW:
+                precharge = module_state.t_rp
+                if dirty[key]:
+                    # Write recovery: the dirty row must finish writing
+                    # to the array before the precharge (tWR_M2 = 275 ns
+                    # makes this the dominant NVM write cost, Sec. 4.1).
+                    precharge += module_state.t_wr
+            else:
+                closed_until = self._closed_until_v[key]
+                if closed_until > prep_start:
+                    precharge = closed_until - prep_start
+            data_ready = (
+                prep_start + precharge + module_state.t_rcd + module_state.cl
+            )
+            if energy is not None:
+                energy.activates[module] += 1
+            new_dirty = is_write
+        burst_start = data_ready
+        if self._bus_free_at > burst_start:
+            burst_start = self._bus_free_at
+        burst_end = burst_start + module_state.line_burst
+        self._bus_free_at = burst_end
+        open_row[key] = row
+        ready[key] = burst_end
+        dirty[key] = new_dirty
+        # --- record served traffic and schedule the completion ---
+        stats = self.stats
+        kind = queue.kind_v[slot]
+        if kind == 0:  # RequestKind.DATA
+            # Demand traffic first: it dominates the served stream.
+            if is_write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
+                # Latency statistics track demand reads only (AMMAT).
+                stats.read_latency_sum += burst_end - queue.arrival_v[slot]
+                stats.read_count += 1
+        else:
+            if kind == 1:  # RequestKind.ST_READ
+                stats.st_reads += 1
+            else:
+                stats.st_writes += 1
+            if is_write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
+        if row_hit:
+            stats.row_hits += 1
+        if energy is not None:
+            counters = energy.line_writes if is_write else energy.line_reads
+            counters[module] += 1
+        origins = queue.origins
+        origin = origins[slot]
+        if origin is not None:
+            origin.completion = burst_end
+            origin.row_hit = row_hit
+            origins[slot] = None
+        callbacks = queue.callbacks
+        callback = callbacks[slot]
+        # Inline-push contract (events.py): both targets are strictly
+        # future cycles (burst_end >= now + CL + burst, the next tick is
+        # now + CMD_GAP), so they go straight onto the heap.
+        events = self._events
+        heap = events._heap
+        if callback is not None:
+            seq = events._seq
+            _heappush(heap, (burst_end, seq, callback))
+            events._seq = seq + 1
+            callbacks[slot] = None
+        # RequestBatch.release, inlined (origins/callbacks cleared only
+        # when set — the SoA fast path leaves both None).
+        queue.free.append(slot)
+        if reads.count or writes.count:
             self._tick_scheduled = True
-            self._events.schedule(now + self.CMD_GAP, self._tick)
+            seq = events._seq
+            _heappush(heap, (now + _CMD_GAP, seq, self._tick_cb))
+            events._seq = seq + 1
+
+    def _tick_kernel(self, now: int) -> None:
+        """One fused scheduling decision via the compiled backend.
+
+        Queue choice, stats, and callback scheduling stay in Python;
+        the integer-only core (selection, dequeue, refresh, timing) runs
+        in :func:`repro.mem.backend.mem_tick` over the shared columns.
+        """
+        self._tick_scheduled = False
+        reads = self._reads
+        writes = self._writes
+        if writes.count:
+            queue = self._select_queue()
+        elif reads.count:
+            self._draining_writes = False
+            queue = reads
+        else:
+            return
+        scheduler = self._scheduler
+        modules = self._modules
+        out = self._kernel_out
+        self._kernel(
+            queue.order,
+            queue.count,
+            queue.bank_key,
+            queue.row,
+            queue.is_write,
+            self._open_row,
+            self._ready_at,
+            self._dirty,
+            self._closed_until,
+            self._timing_table,
+            self._banks_per_rank,
+            scheduler._consecutive_hits,
+            scheduler.cap,
+            now,
+            self._bus_free_at,
+            self._blocked_until,
+            modules[0].next_refresh,
+            modules[1].next_refresh,
+            self._row_idle_close,
+            out,
+        )
+        out_v = self._kernel_out_v
+        slot = out_v[0]
+        module = out_v[1]
+        burst_end = out_v[2]
+        row_hit = bool(out_v[3])
+        refreshes = out_v[5]
+        scheduler._consecutive_hits = out_v[6]
+        self._bus_free_at = out_v[7]
+        modules[module].next_refresh = out_v[8]
+        queue.count -= 1
+        if (
+            self._write_accept_waiters
+            and writes.count <= self.WRITE_QUEUE_CAP
+        ):
+            self._schedule_now(self._write_accept_waiters.popleft())
+        stats = self.stats
+        energy = self._energy
+        if refreshes:
+            stats.refreshes += refreshes
+            if energy is not None:
+                index = 0
+                while index < refreshes:
+                    energy.record_refresh()
+                    index += 1
+        if out_v[4] and energy is not None:
+            energy.activates[module] += 1
+        is_write = queue.is_write_v[slot]
+        kind = queue.kind_v[slot]
+        if kind == 0:  # RequestKind.DATA
+            if is_write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
+                stats.read_latency_sum += burst_end - queue.arrival_v[slot]
+                stats.read_count += 1
+        else:
+            if kind == 1:  # RequestKind.ST_READ
+                stats.st_reads += 1
+            else:
+                stats.st_writes += 1
+            if is_write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
+        if row_hit:
+            stats.row_hits += 1
+        if energy is not None:
+            counters = energy.line_writes if is_write else energy.line_reads
+            counters[module] += 1
+        origins = queue.origins
+        origin = origins[slot]
+        if origin is not None:
+            origin.completion = burst_end
+            origin.row_hit = row_hit
+            origins[slot] = None
+        callbacks = queue.callbacks
+        callback = callbacks[slot]
+        # Inline-push contract (events.py): both targets are strictly
+        # future cycles, same as the python tick.
+        events = self._events
+        heap = events._heap
+        if callback is not None:
+            seq = events._seq
+            _heappush(heap, (burst_end, seq, callback))
+            events._seq = seq + 1
+            callbacks[slot] = None
+        # RequestBatch.release, inlined (origins/callbacks cleared only
+        # when set — the SoA fast path leaves both None).
+        queue.free.append(slot)
+        if reads.count or writes.count:
+            self._tick_scheduled = True
+            seq = events._seq
+            _heappush(heap, (now + _CMD_GAP, seq, self._tick_cb))
+            events._seq = seq + 1
 
     def _refresh_if_due(self, module_state: ModuleState, now: int) -> None:
         """Apply any refresh cycles that elapsed on the module by ``now``.
@@ -251,122 +696,21 @@ class Channel:
         tRFC.  M2 (NVM) configures t_refi = 0 and never refreshes
         (Section 4.1).  Processing lazily at request issue is exact for
         timing because refresh only matters when traffic arrives.
+        Vectorized over the module's bank-key slice.
         """
+        lo = module_state.lo
+        hi = module_state.hi
+        ready_slice = self._ready_at[lo:hi]
         while now >= module_state.next_refresh:
             start = module_state.next_refresh
             end = start + module_state.t_rfc
-            for bank in module_state.banks:
-                bank.close()
-                bank.reserve(end)
+            self._open_row[lo:hi] = NO_ROW
+            self._dirty[lo:hi] = 0
+            np.maximum(ready_slice, end, out=ready_slice)
             module_state.next_refresh = start + module_state.t_refi
             self.stats.refreshes += 1
             if self._energy is not None:
                 self._energy.record_refresh()
-
-    def _issue(self, request: MemRequest, now: int) -> None:
-        """Schedule one request's commands and data burst.
-
-        Bank-state reads and the final ``bank.open`` are inlined (plain
-        slot loads/stores): this method runs once per served request.
-        """
-        address = request.address
-        module = address.module
-        module_state = self._modules[module]
-        if now >= module_state.next_refresh:
-            self._refresh_if_due(module_state, now)
-        bank = module_state.banks[address.bank]
-
-        bank_ready = bank.ready_at
-        prep_start = now if now > bank_ready else bank_ready
-        if self._blocked_until > prep_start:
-            prep_start = self._blocked_until
-        open_row = bank.open_row
-        row_idle_close = self._row_idle_close
-        if (
-            row_idle_close > 0
-            and open_row is not None
-            and prep_start - bank_ready >= row_idle_close
-        ):
-            # Adaptive page policy: the controller precharged this idle row
-            # in the background.  The precharge (and write recovery, for a
-            # dirty row) happened off the critical path; only its tail can
-            # still delay a prompt re-activation.
-            close_began = bank_ready + row_idle_close
-            penalty = module_state.t_rp + (module_state.t_wr if bank.dirty else 0)
-            bank.closed_until = close_began + penalty
-            bank.open_row = open_row = None
-            bank.dirty = False
-        row = address.row
-        is_write = request.is_write
-        if open_row == row:
-            # Row-buffer hit: CAS only; writes land in the row buffer and
-            # defer their cell-write cost to the eventual precharge.
-            request.row_hit = True
-            data_ready = prep_start + module_state.cl
-            dirty = is_write or bank.dirty
-        else:
-            request.row_hit = False
-            precharge = 0
-            if open_row is not None:
-                precharge = module_state.t_rp
-                if bank.dirty:
-                    # Write recovery: the dirty row must finish writing to
-                    # the array before the precharge (tWR_M2 = 275 ns makes
-                    # this the dominant NVM write cost, Section 4.1).
-                    precharge += module_state.t_wr
-            elif bank.closed_until > prep_start:
-                precharge = bank.closed_until - prep_start
-            data_ready = (
-                prep_start + precharge + module_state.t_rcd + module_state.cl
-            )
-            energy = self._energy
-            if energy is not None:
-                energy.activates[module] += 1
-            dirty = is_write
-        burst_start = data_ready
-        if self._bus_free_at > burst_start:
-            burst_start = self._bus_free_at
-        burst_end = burst_start + module_state.line_burst
-        self._bus_free_at = burst_end
-
-        # bank.open(row, burst_end, dirty), inlined.
-        bank.open_row = row
-        bank.ready_at = burst_end
-        bank.dirty = dirty
-
-        request.completion = burst_end
-        self._record(request, burst_end)
-        if request.on_complete is not None:
-            self._events.schedule(burst_end, request.on_complete)
-
-    def _record(self, request: MemRequest, completion: int) -> None:
-        stats = self.stats
-        kind = request.kind
-        is_write = request.is_write
-        if kind is RequestKind.DATA:
-            # Demand traffic first: it dominates the served stream.
-            if is_write:
-                stats.writes += 1
-            else:
-                stats.reads += 1
-                # Latency statistics track demand reads only (AMMAT).
-                stats.read_latency_sum += completion - request.arrival
-                stats.read_count += 1
-        else:
-            if kind is RequestKind.ST_READ:
-                stats.st_reads += 1
-            else:
-                stats.st_writes += 1
-            if is_write:
-                stats.writes += 1
-            else:
-                stats.reads += 1
-        if request.row_hit:
-            stats.row_hits += 1
-        energy = self._energy
-        if energy is not None:
-            counters = energy.line_writes if is_write else energy.line_reads
-            counters[request.address.module] += 1
 
     # ------------------------------------------------------------------
     # Swaps
@@ -393,8 +737,14 @@ class Channel:
         self._bus_free_at = end
         # Both blocks were just rewritten: the involved rows end up open
         # and dirty (their array write-back is pending).
-        self._modules[Module.M1].banks[m1_bank].open(m1_row, end, dirty=True)
-        self._modules[Module.M2].banks[m2_bank].open(m2_row, end, dirty=True)
+        m1_key = m1_bank
+        m2_key = self._banks_per_rank + m2_bank
+        self._open_row_v[m1_key] = m1_row
+        self._ready_at_v[m1_key] = end
+        self._dirty_v[m1_key] = 1
+        self._open_row_v[m2_key] = m2_row
+        self._ready_at_v[m2_key] = end
+        self._dirty_v[m2_key] = 1
         self._scheduler.reset_streak()
         self.stats.swaps += 1
         if self._energy is not None:

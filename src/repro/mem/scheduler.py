@@ -61,3 +61,48 @@ class FrFcfsCapScheduler:
         else:
             self._consecutive_hits = 0
         return chosen
+
+    def select_batched(
+        self,
+        order: Sequence[int],
+        count: int,
+        bank_key: Sequence[int],
+        row: Sequence[int],
+        open_row: Sequence[int],
+    ) -> int:
+        """FR-FCFS-Cap over columnar queue state; returns an order index.
+
+        The batched twin of :meth:`select`: ``order[:count]`` lists the
+        live slots oldest first, ``bank_key``/``row`` are the queue
+        columns, and ``open_row`` is the channel's bank-state column —
+        a request is a row hit iff ``open_row[bank_key[slot]] ==
+        row[slot]``.  Same policy, same streak accounting; property
+        tests pin the two implementations against each other, and the
+        channel tick paths inline exactly this logic.
+        """
+        if count < 1:
+            raise InvalidValueError("select called with no pending requests")
+        if count == 1:
+            if open_row[bank_key[order[0]]] == row[order[0]]:
+                self._consecutive_hits += 1
+            else:
+                self._consecutive_hits = 0
+            return 0
+        chosen = -1
+        if self._consecutive_hits < self.cap:
+            index = 0
+            while index < count:
+                slot = order[index]
+                if open_row[bank_key[slot]] == row[slot]:
+                    chosen = index
+                    break
+                index += 1
+        if chosen >= 0:
+            self._consecutive_hits += 1
+            return chosen
+        slot = order[0]
+        if open_row[bank_key[slot]] == row[slot]:
+            self._consecutive_hits += 1
+        else:
+            self._consecutive_hits = 0
+        return 0

@@ -1,0 +1,31 @@
+"""H204 bad: per-request allocation inside a batched tick-loop function."""
+
+from functools import partial
+
+
+class Request:
+    __slots__ = ("slot",)
+
+    def __init__(self, slot):
+        self.slot = slot
+
+
+class Kernel:
+    __slots__ = ("pending", "free")
+
+    def __init__(self):
+        self.pending = []
+        self.free = []
+
+    def tick(self, now):
+        burst = [now, now + 4]  # list display
+        state = {"now": now}  # dict display
+        hits = [cycle for cycle in burst]  # comprehension
+        hook = lambda cycle: cycle + 1  # noqa: E731  lambda closure
+
+        def finish(cycle):  # nested function object
+            return cycle
+
+        request = Request(now)  # project-class construction
+        deferred = partial(finish, now)  # allocating constructor
+        return burst, state, hits, hook, request, deferred

@@ -1,0 +1,28 @@
+"""H204 good: the batched tick reuses preallocated columnar state.
+
+Method calls on preallocated containers (``free.pop()``/``append()``)
+and the error path (``raise`` with a formatted message) stay legal.
+"""
+
+
+class EmptyQueueError(Exception):
+    pass
+
+
+class Kernel:
+    __slots__ = ("order", "count", "free", "out")
+
+    def __init__(self):
+        self.order = [0] * 64
+        self.count = 0
+        self.free = list(range(64))
+        self.out = [0] * 4
+
+    def tick(self, now):
+        if self.count == 0:
+            raise EmptyQueueError(f"tick at {now} with an empty queue")
+        slot = self.free.pop()
+        self.order[0] = slot
+        self.out[0] = now
+        self.free.append(slot)
+        return self.out

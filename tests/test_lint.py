@@ -40,13 +40,18 @@ class Case:
     #: Hot-function manifest entries (qualnames, relative to ``module``).
     bad_functions: tuple[str, ...] = ()
     good_functions: tuple[str, ...] = ()
+    #: Batched tick-loop entries (H204; qualnames, relative to ``module``).
+    bad_batch: tuple[str, ...] = ()
+    good_batch: tuple[str, ...] = ()
 
-    def manifests(self, kind: str) -> tuple[frozenset, frozenset]:
+    def manifests(self, kind: str) -> tuple[frozenset, frozenset, frozenset]:
         classes = self.bad_classes if kind == "bad" else self.good_classes
         functions = self.bad_functions if kind == "bad" else self.good_functions
+        batch = self.bad_batch if kind == "bad" else self.good_batch
         return (
             frozenset(f"{self.module}.{name}" for name in classes),
             frozenset(f"{self.module}.{name}" for name in functions),
+            frozenset(f"{self.module}.{name}" for name in batch),
         )
 
 
@@ -72,6 +77,11 @@ CASES: dict[str, Case] = {
         bad_functions=("Loop.run",),
         good_functions=("Loop.run",),
     ),
+    "H204": Case(
+        module="repro.mem.fixture",
+        bad_batch=("Kernel.tick",),
+        good_batch=("Kernel.tick",),
+    ),
     "C301": Case(module="repro.analysis.fixture"),
     "C302": Case(module="repro.analysis.fixture"),
     "C303": Case(module="repro.analysis.fixture"),
@@ -88,6 +98,7 @@ def lint_fixture(
     ignore: Optional[str] = None,
     hot_classes: frozenset = NO_HOT,
     hot_functions: frozenset = NO_HOT,
+    batch_functions: frozenset = NO_HOT,
 ) -> list[Finding]:
     path = FIXTURES / f"{name}.py"
     return lint_sources(
@@ -96,18 +107,20 @@ def lint_fixture(
         ignore=ignore,
         hot_classes=hot_classes,
         hot_functions=hot_functions,
+        batch_functions=batch_functions,
     )
 
 
 def lint_case(rule: str, kind: str) -> list[Finding]:
     case = CASES[rule]
-    hot_classes, hot_functions = case.manifests(kind)
+    hot_classes, hot_functions, batch_functions = case.manifests(kind)
     return lint_fixture(
         f"{rule.lower()}_{kind}",
         case.module,
         select=rule,
         hot_classes=hot_classes,
         hot_functions=hot_functions,
+        batch_functions=batch_functions,
     )
 
 
@@ -149,6 +162,9 @@ class TestRulesFire:
         assert len(lint_case("D105", "bad")) == 2  # subscript + dict key
         assert len(lint_case("H202", "bad")) == 2  # __init__ + method
         assert len(lint_case("H203", "bad")) == 3  # print, f-string, try
+        # list + dict display, comprehension, lambda, nested def,
+        # project class, partial
+        assert len(lint_case("H204", "bad")) == 7
         assert len(lint_case("C302", "bad")) == 3  # list, dict, set
         assert len(lint_case("C303", "bad")) == 2  # local class + builtin
 

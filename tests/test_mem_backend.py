@@ -1,0 +1,186 @@
+"""Columnar request batches and backend dispatch (DESIGN.md §14).
+
+Covers the SoA :class:`RequestBatch` container, backend resolution
+(``auto``/``python``/``compiled`` with the graceful numba fallback),
+the cache-key exclusion contract, and — most importantly — byte
+identity of simulation results across backends.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import (
+    MEM_BACKENDS,
+    ConfigError,
+    paper_quad_core,
+    paper_single_core,
+)
+from repro.common.errors import InvalidValueError
+from repro.exec.spec import RunSpec
+from repro.mem.backend import (
+    compiled_available,
+    get_tick_kernel,
+    mem_tick,
+    resolve_backend,
+)
+from repro.mem.batch import INITIAL_CAPACITY, NO_ROW, RequestBatch
+from repro.sim.engine import SimulationDriver
+from repro.traces.generator import synthesize_trace
+
+
+class TestRequestBatch:
+    def test_push_records_columns_in_arrival_order(self):
+        batch = RequestBatch()
+        first = batch.push(3, 40, 0, 100, 0, None)
+        second = batch.push(7, 41, 1, 101, 2, None)
+        assert len(batch) == 2
+        assert list(batch.order_v[:2]) == [first, second]
+        assert batch.bank_key_v[first] == 3
+        assert batch.row_v[second] == 41
+        assert batch.is_write_v[second] == 1
+        assert batch.arrival_v[first] == 100
+        assert batch.kind_v[second] == 2
+
+    def test_pop_at_preserves_fifo_of_remainder(self):
+        batch = RequestBatch()
+        slots = [batch.push(0, row, 0, 0, 0, None) for row in range(4)]
+        popped = batch.pop_at(1)
+        assert popped == slots[1]
+        assert list(batch.order_v[: batch.count]) == [
+            slots[0],
+            slots[2],
+            slots[3],
+        ]
+
+    def test_release_recycles_slot_and_clears_payload(self):
+        batch = RequestBatch()
+        slot = batch.push(0, 1, 0, 0, 0, lambda now: None, origin=object())
+        batch.pop_at(0)
+        batch.release(slot)
+        assert batch.callbacks[slot] is None
+        assert batch.origins[slot] is None
+        assert batch.free[-1] == slot  # LIFO reuse
+        assert batch.push(0, 2, 0, 0, 0, None) == slot
+
+    def test_grow_doubles_capacity_and_keeps_entries(self):
+        batch = RequestBatch(capacity=2)
+        slots = [batch.push(bank, bank * 10, 0, 0, 0, None) for bank in range(3)]
+        assert batch.capacity == 4
+        assert list(batch.order_v[:3]) == slots
+        assert [int(batch.bank_key_v[s]) for s in slots] == [0, 1, 2]
+        # Views were rebound onto the grown arrays.
+        assert len(batch.bank_key_v) == 4
+        assert len(batch.callbacks) == 4
+
+    def test_default_capacity(self):
+        assert RequestBatch().capacity == INITIAL_CAPACITY
+
+    def test_no_row_sentinel_is_outside_the_st_row_namespace(self):
+        # ST rows use a negative namespace (-1 - k): the sentinel must
+        # never collide with a representable row id.
+        assert NO_ROW < -(1 << 40)
+
+
+class TestBackendResolution:
+    def test_explicit_backends_are_honored(self):
+        assert resolve_backend("python") == "python"
+        # "compiled" is honored even without numba (interpreted fallback).
+        assert resolve_backend("compiled") == "compiled"
+
+    def test_auto_follows_numba_availability(self):
+        expected = "compiled" if compiled_available() else "python"
+        assert resolve_backend("auto") == expected
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidValueError):
+            resolve_backend("fortran")
+
+    def test_every_config_backend_resolves(self):
+        for name in MEM_BACKENDS:
+            assert resolve_backend(name) in ("python", "compiled")
+
+    def test_kernel_falls_back_to_interpreted_mem_tick(self):
+        kernel = get_tick_kernel()
+        assert callable(kernel)
+        if not compiled_available():
+            assert kernel is mem_tick
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ConfigError):
+            replace(paper_single_core(scale=128), mem_backend="fortran")
+
+
+class TestCacheKeyExclusion:
+    def test_cache_token_ignores_backend(self):
+        config = paper_single_core(scale=128)
+        for backend in MEM_BACKENDS:
+            assert (
+                replace(config, mem_backend=backend).cache_token()
+                == config.cache_token()
+            )
+
+    def test_run_spec_cache_key_ignores_backend(self):
+        config = paper_single_core(scale=128)
+
+        def spec(backend):
+            return RunSpec(
+                kind="single",
+                programs=("zeusmp",),
+                policy="pom",
+                config=replace(config, mem_backend=backend),
+                requests=500,
+                seed=0,
+                trace_scale=128,
+            )
+
+        keys = {spec(backend).cache_key() for backend in MEM_BACKENDS}
+        assert len(keys) == 1
+
+
+def _driver(mem_backend=None, quad=False, requests=500):
+    if quad:
+        config = paper_quad_core(scale=128)
+        programs = ["zeusmp", "leslie3d", "mcf", "libquantum"]
+        policy = "profess"
+    else:
+        config = paper_single_core(scale=128)
+        programs = ["zeusmp"]
+        policy = "pom"
+    traces = [
+        (program, synthesize_trace(program, requests, scale=128, seed=seed))
+        for seed, program in enumerate(programs)
+    ]
+    return SimulationDriver(
+        config, policy, traces, seed=0, mem_backend=mem_backend
+    )
+
+
+class TestBackendParity:
+    """The tentpole contract: backends are byte-identical."""
+
+    def test_driver_override_wins_over_config_default(self):
+        driver = _driver(mem_backend="python")
+        assert all(
+            channel.backend == "python"
+            for channel in driver.controller.channels
+        )
+        driver = _driver(mem_backend="compiled")
+        assert all(
+            channel.backend == "compiled"
+            for channel in driver.controller.channels
+        )
+
+    def test_single_core_results_identical(self):
+        python = _driver(mem_backend="python").run()
+        compiled = _driver(mem_backend="compiled").run()
+        assert python.to_dict() == compiled.to_dict()
+
+    def test_quad_core_results_identical(self):
+        # Swaps, ST fetches/writebacks, and channel contention all cross
+        # the backend boundary in the quad mix.
+        python = _driver(mem_backend="python", quad=True, requests=400).run()
+        compiled = _driver(
+            mem_backend="compiled", quad=True, requests=400
+        ).run()
+        assert python.to_dict() == compiled.to_dict()

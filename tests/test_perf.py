@@ -130,6 +130,56 @@ class TestBaselineGate:
         assert compare_to_baseline(current, baseline) == []
 
 
+class TestBackendRows:
+    def test_benchmark_backends_selection(self):
+        from repro.mem.backend import compiled_available
+        from repro.perf.bench import benchmark_backends
+
+        assert benchmark_backends("python") == ["python"]
+        assert benchmark_backends("compiled") == ["compiled"]
+        auto = benchmark_backends("auto")
+        assert auto[0] == "python"
+        assert ("compiled" in auto) == compiled_available()
+
+    def test_run_scenario_records_backend(self):
+        scenario = standard_scenarios(quick=True)[0]
+        tiny = type(scenario)(
+            name=scenario.name,
+            policy=scenario.policy,
+            programs=(("zeusmp", 300, 0),),
+            quad=False,
+        )
+        result = run_scenario(tiny, repeats=1, mem_backend="compiled")
+        assert result.backend == "compiled"
+        assert result.to_dict()["backend"] == "compiled"
+
+    def test_gate_ignores_compiled_rows(self):
+        # A slow compiled row must not fail the python-floor gate, and a
+        # compiled-only baseline row must not gate python runs.
+        current = _payload(single=100_000.0, multi=100_000.0)
+        current["scenarios"].append(
+            {"name": "single", "backend": "compiled", "events_per_sec": 1.0}
+        )
+        baseline = _payload()
+        baseline["scenarios"].append(
+            {"name": "multi", "backend": "compiled", "events_per_sec": 1e12}
+        )
+        assert compare_to_baseline(current, baseline, min_ratio=0.7) == []
+
+    def test_markdown_summary_reports_compiled_speedup(self):
+        payload = _payload(single=100_000.0, multi=100_000.0)
+        payload["scenarios"].append(
+            {
+                "name": "single",
+                "backend": "compiled",
+                "events_per_sec": 250_000.0,
+            }
+        )
+        text = markdown_summary(payload)
+        assert "| single | compiled | 250,000 |" in text
+        assert "Compiled-vs-python speedup: single 2.50x" in text
+
+
 class TestCompatibilityWarnings:
     def test_warns_on_python_minor_mismatch(self):
         current = dict(_payload(), python="3.12.4")
@@ -155,6 +205,22 @@ class TestCompatibilityWarnings:
         assert len(warnings) == 1
         assert "x86_64" in warnings[0]
 
+    def test_warns_on_numpy_minor_mismatch(self):
+        current = dict(_payload(), numpy="2.1.3")
+        baseline = dict(_payload(), numpy="1.26.4")
+        warnings = compatibility_warnings(current, baseline)
+        assert len(warnings) == 1
+        assert "numpy" in warnings[0] and "1.26.4" in warnings[0]
+
+    def test_silent_on_same_numpy_minor(self):
+        current = dict(_payload(), numpy="2.1.3")
+        baseline = dict(_payload(), numpy="2.1.0")
+        assert compatibility_warnings(current, baseline) == []
+
+    def test_silent_when_baseline_does_not_record_numpy(self):
+        current = dict(_payload(), numpy="2.1.3")
+        assert compatibility_warnings(current, _payload()) == []
+
 
 class TestMarkdownSummary:
     def test_table_has_one_row_per_scenario_with_delta(self):
@@ -162,7 +228,7 @@ class TestMarkdownSummary:
         current["quick"] = True
         current["repeats"] = 3
         text = markdown_summary(current, _payload(quick=False) | {"quick": True})
-        assert "| single | 150,000 |" in text
+        assert "| single | python | 150,000 |" in text
         assert "1.50x" in text  # 150k vs 100k baseline
         assert "0.50x" in text  # 50k vs 100k baseline
         assert text.count("|---") == 0  # header uses spaced pipes

@@ -1,6 +1,14 @@
-"""FR-FCFS-Cap scheduler tests (Section 4.1: cap = 4)."""
+"""FR-FCFS-Cap scheduler tests (Section 4.1: cap = 4).
 
+The batched (columnar) selection path is property-tested against the
+scalar reference: for any queue state and any request sequence, both
+implementations must choose the same index and carry the same row-hit
+streak.
+"""
+
+import numpy as np
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.mem.request import DeviceAddress, MemRequest, Module
 from repro.mem.scheduler import FrFcfsCapScheduler
@@ -68,3 +76,92 @@ class TestValidation:
     def test_rejects_bad_cap(self):
         with pytest.raises(ValueError):
             FrFcfsCapScheduler(cap=0)
+
+
+# ----------------------------------------------------------------------
+# Batched (columnar) selection: must mirror the scalar reference exactly
+# ----------------------------------------------------------------------
+def _columns(requests: list[tuple[int, int]]):
+    """SoA columns for a batch of (bank, row) pairs in arrival order."""
+    order = np.arange(len(requests), dtype=np.int64)
+    bank_key = np.array([bank for bank, _row in requests], dtype=np.int64)
+    row = np.array([row for _bank, row in requests], dtype=np.int64)
+    return order, bank_key, row
+
+
+def _select_batched(sched, requests, open_rows):
+    order, bank_key, row = _columns(requests)
+    return sched.select_batched(
+        order, len(requests), bank_key, row, np.asarray(open_rows, np.int64)
+    )
+
+
+class TestBatchedSelection:
+    def test_empty_ready_set_raises(self):
+        sched = FrFcfsCapScheduler(cap=4)
+        order, bank_key, row = _columns([(0, 1)])
+        with pytest.raises(ValueError):
+            sched.select_batched(order, 0, bank_key, row, np.zeros(1, np.int64))
+
+    def test_cap_exhaustion_mid_batch_falls_back_to_oldest(self):
+        # Row 9 is open in bank 0: the hit at index 1 wins until the
+        # streak hits the cap mid-sequence, then the oldest miss issues.
+        sched = FrFcfsCapScheduler(cap=2)
+        requests = [(0, 1), (0, 9)]
+        open_rows = [9]
+        assert _select_batched(sched, requests, open_rows) == 1
+        assert _select_batched(sched, requests, open_rows) == 1
+        assert _select_batched(sched, requests, open_rows) == 0
+        # Serving the miss resets the streak: hits flow again.
+        assert _select_batched(sched, requests, open_rows) == 1
+
+    def test_same_cycle_ties_break_in_fifo_order(self):
+        # Two equally-ready row hits arriving in the same tick: the
+        # older one (lower order index) must win, as must the oldest
+        # among all-miss candidates.
+        sched = FrFcfsCapScheduler(cap=4)
+        assert _select_batched(sched, [(0, 5), (1, 9), (2, 9)], [5, 9, 9]) == 0
+        sched.reset_streak()
+        assert _select_batched(sched, [(0, 1), (1, 9), (2, 9)], [0, 9, 9]) == 1
+        sched.reset_streak()
+        assert _select_batched(sched, [(0, 1), (1, 2), (2, 3)], [9, 9, 9]) == 0
+
+    def test_single_candidate_updates_streak(self):
+        sched = FrFcfsCapScheduler(cap=1)
+        assert _select_batched(sched, [(0, 7)], [7]) == 0  # hit: streak 1
+        # Cap reached: with two candidates the oldest must now issue.
+        assert _select_batched(sched, [(0, 1), (0, 7)], [7]) == 0
+
+    @given(
+        cap=st.integers(min_value=1, max_value=5),
+        open_rows=st.lists(
+            st.integers(min_value=0, max_value=3), min_size=4, max_size=4
+        ),
+        batches=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=3),
+                    st.integers(min_value=0, max_value=3),
+                ),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    def test_batched_matches_scalar_reference(self, cap, open_rows, batches):
+        """Both paths agree on every pick and carry the same streak."""
+        scalar = FrFcfsCapScheduler(cap=cap)
+        batched = FrFcfsCapScheduler(cap=cap)
+        for requests in batches:
+            pending = [_req(bank, row) for bank, row in requests]
+            expected = scalar.select(
+                pending,
+                lambda r: open_rows[r.address.bank] == r.address.row,
+            )
+            actual = _select_batched(batched, requests, open_rows)
+            assert actual == expected
+            assert (
+                batched._consecutive_hits == scalar._consecutive_hits
+            ), "streak accounting diverged"
