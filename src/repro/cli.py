@@ -45,6 +45,20 @@ def _cache_dir(value: str) -> Path:
     return path
 
 
+def _retry_count(value: str) -> int:
+    retries = int(value)
+    if retries < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return retries
+
+
+def _timeout_seconds(value: str) -> float:
+    seconds = float(value)
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("must be > 0 seconds")
+    return seconds
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every simulating subcommand."""
     parser.add_argument(
@@ -59,6 +73,34 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="directory for the persistent result cache (shared across "
         "invocations; repeat runs become cache hits)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_retry_count,
+        default=1,
+        metavar="N",
+        help="re-attempts per run for transient failures (worker death, "
+        "timeout, OS errors); simulation errors are never retried",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=_timeout_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per simulation; an overdue run counts as "
+        "a (retryable) failure and its worker is replaced",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the run journal beside --cache-dir: completed work "
+        "is served from the cache, failed keys are re-attempted",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the sweep on the first failed run instead of "
+        "finishing the wave and reporting a failure table",
     )
     _add_backend_flag(parser)
 
@@ -338,13 +380,21 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         validate_every=getattr(args, "validate_every", 0),
         policies=getattr(args, "policy", None),
         mem_backend=getattr(args, "mem_backend", "auto"),
+        retries=getattr(args, "retries", 1),
+        run_timeout=getattr(args, "run_timeout", None),
+        fail_fast=getattr(args, "fail_fast", False),
+        resume=getattr(args, "resume", False),
     )
 
 
 def _run(args: argparse.Namespace) -> int:
+    from repro.common.errors import (
+        InvalidValueError,
+        PolicySpecError,
+        UnknownPolicyError,
+    )
+    from repro.exec import SweepFailure, format_failure_table
     from repro.experiments.paper_report import format_run_stats
-
-    from repro.common.errors import PolicySpecError, UnknownPolicyError
     from repro.policies.registry import canonical_policy
 
     # Validate the complete request before simulating anything: a typo
@@ -364,7 +414,14 @@ def _run(args: argparse.Namespace) -> int:
     except (PolicySpecError, UnknownPolicyError) as error:
         print(f"bad --policy: {error}", file=sys.stderr)
         return 2
-    runner = _make_runner(args)
+    try:
+        runner = _make_runner(args)
+    except InvalidValueError as error:
+        print(f"profess run: {error}", file=sys.stderr)
+        return 2
+    summary = runner.resume_summary()
+    if summary is not None:
+        print(summary)
     profiler = None
     if args.profile:
         import cProfile
@@ -373,7 +430,12 @@ def _run(args: argparse.Namespace) -> int:
         profiler.enable()
     for experiment_id in ids:
         started = time.time()
-        result = run_experiment(experiment_id, runner)
+        try:
+            result = run_experiment(experiment_id, runner)
+        except SweepFailure as error:
+            print(f"[{experiment_id} aborted: fail-fast]", file=sys.stderr)
+            print(format_failure_table(error.failures), file=sys.stderr)
+            return 1
         report = result.render()
         elapsed = time.time() - started
         print(report)
@@ -389,6 +451,14 @@ def _run(args: argparse.Namespace) -> int:
         stats.strip_dirs().sort_stats("cumulative").print_stats(25)
     if args.verbose:
         print(format_run_stats(runner))
+    if runner.failures:
+        print(format_failure_table(runner.failures), file=sys.stderr)
+        print(
+            f"{len(runner.failures)} run(s) failed; rerun with --resume "
+            "and --cache-dir to retry only the failures",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -397,9 +467,14 @@ def _report(args: argparse.Namespace) -> int:
         format_run_stats,
         generate_experiments_md,
     )
+    from repro.common.errors import InvalidValueError
     from repro.experiments.store import ResultStore
 
-    runner = _make_runner(args)
+    try:
+        runner = _make_runner(args)
+    except InvalidValueError as error:
+        print(f"profess report: {error}", file=sys.stderr)
+        return 2
     store = ResultStore(args.store) if args.store is not None else None
     started = time.time()
     generate_experiments_md(runner, args.output, store=store)

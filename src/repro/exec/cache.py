@@ -7,11 +7,22 @@ and version is a hit, anything else (absent file, corrupt JSON, stale
 version) is a miss that falls through to simulation.
 
 Writes are atomic (temp file + rename) so concurrent workers sharing a
-cache directory can never observe a half-written entry.
+cache directory can never observe a half-written entry, and best-effort:
+a read-only cache directory degrades to a cache that never hits, it
+never breaks the sweep.
+
+Integrity (DESIGN.md §15): every payload carries a SHA-256 digest of its
+canonical result serialization, verified on read.  An entry that fails
+*any* read check — unparseable JSON, stale version, digest mismatch,
+undecodable result — is moved to ``<cache>/quarantine/`` immediately, so
+a corrupt file costs one quarantine instead of a silent re-miss (and a
+re-simulation) on every future lookup; the quarantined bytes stay on
+disk for diagnosis.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -22,7 +33,17 @@ from repro.sim.results import SimulationResult
 
 #: Bump when the on-disk payload layout or SimulationResult schema
 #: changes incompatibly; older entries then read as misses.
-CACHE_VERSION = 1
+#: v2: payloads carry a "sha256" integrity digest, verified on read.
+CACHE_VERSION = 2
+
+#: Subdirectory (inside the cache directory) corrupt entries move to.
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_digest(result_dict: dict) -> str:
+    """Canonical SHA-256 of one serialized result (the integrity stamp)."""
+    text = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -30,47 +51,97 @@ class ResultCache:
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            pass  # read-only parent: behave as an always-miss cache
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Corrupt/stale entries moved to quarantine by this instance.
+        self.quarantined = 0
+        #: Stores that could not be persisted (read-only directory).
+        self.store_errors = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
     # ------------------------------------------------------------------
     def get(self, spec: RunSpec) -> Optional[SimulationResult]:
-        """The cached result for ``spec``, or None (counted as a miss)."""
+        """The cached result for ``spec``, or None (counted as a miss).
+
+        A present-but-unusable entry (corrupt JSON, stale version, digest
+        mismatch, undecodable result) is quarantined on first sight.
+        """
         path = self._path(spec.cache_key())
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        if payload.get("version") != CACHE_VERSION:
+            text = path.read_text()
+        except OSError:
             self.misses += 1
             return None
         try:
-            result = SimulationResult.from_dict(payload["result"])
-        except (KeyError, TypeError):
-            self.misses += 1
-            return None
+            payload = json.loads(text)
+        except ValueError:
+            return self._reject(path, "unparseable JSON")
+        if not isinstance(payload, dict):
+            return self._reject(path, "payload is not an object")
+        if payload.get("version") != CACHE_VERSION:
+            return self._reject(
+                path, f"version {payload.get('version')!r} != {CACHE_VERSION}"
+            )
+        result_dict = payload.get("result")
+        if (
+            not isinstance(result_dict, dict)
+            or payload.get("sha256") != payload_digest(result_dict)
+        ):
+            return self._reject(path, "integrity digest mismatch")
+        try:
+            result = SimulationResult.from_dict(result_dict)
+        except (KeyError, TypeError, ValueError):
+            return self._reject(path, "result failed to decode")
         self.hits += 1
         return result
 
+    def _reject(self, path: Path, reason: str) -> None:
+        """Quarantine an unusable entry; always counts as a miss."""
+        self.misses += 1
+        quarantine = self.directory / QUARANTINE_DIR
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+            self.quarantined += 1
+        except OSError:
+            # Read-only cache: leave the entry in place; still a miss.
+            return None
+        try:
+            (quarantine / f"{path.stem}.reason.txt").write_text(reason + "\n")
+        except OSError:
+            pass  # the moved entry alone is enough to diagnose
+        return None
+
     def put(self, spec: RunSpec, result: SimulationResult) -> Path:
-        """Persist one result; returns its path."""
+        """Persist one result (best-effort); returns its path."""
         key = spec.cache_key()
         path = self._path(key)
+        result_dict = result.to_dict()
         payload = {
             "version": CACHE_VERSION,
             "key": key,
             "spec": spec.describe(),
-            "result": result.to_dict(),
+            "sha256": payload_digest(result_dict),
+            "result": result_dict,
         }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload) + "\n")
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(json.dumps(payload) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            self.store_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass  # nothing was written
+            return path
         self.stores += 1
         return path
 
@@ -86,10 +157,17 @@ class ResultCache:
             removed += 1
         return removed
 
+    def quarantine_count(self) -> int:
+        """Entries currently sitting in the quarantine directory."""
+        quarantine = self.directory / QUARANTINE_DIR
+        return sum(1 for _ in quarantine.glob("*.json"))
+
     def stats(self) -> dict[str, int]:
         """Hit/miss/store counters for this cache instance's lifetime."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "quarantined": self.quarantined,
+            "store_errors": self.store_errors,
         }

@@ -8,7 +8,7 @@ run.  For every batch it:
 2. serves what it can from the :class:`~repro.exec.cache.ResultCache`,
 3. fans the remainder out over a ``ProcessPoolExecutor`` when
    ``jobs > 1`` (falling back to in-process serial execution when
-   ``jobs == 1``, when there is only one run, or when the pool dies),
+   ``jobs == 1`` or when there is only one run),
 4. persists fresh results to the cache and reports each completion
    through an optional callback, and
 5. returns results in the exact order the specs were submitted,
@@ -16,25 +16,53 @@ run.  For every batch it:
 
 Simulations are deterministic functions of their spec, so a parallel
 batch is bit-identical to a serial one — only wall-clock time changes.
+
+Fault isolation (DESIGN.md §15): one crashing worker, one hung spec, or
+one raising simulation never takes the wave down.  Worker exceptions are
+wrapped with spec provenance (:class:`~repro.exec.resilience.
+WorkerFailure`), transient faults — worker death, per-spec wall-clock
+timeouts, ``OSError`` — are re-attempted under a deterministic
+:class:`~repro.exec.resilience.RetryPolicy`, deterministic failures are
+captured as structured :class:`~repro.exec.resilience.RunFailure`
+records, and every submit/complete/fail is journalled so an interrupted
+sweep resumes instead of restarting.  :meth:`Executor.run_wave` returns
+the partial wave (results + failures); :meth:`Executor.run_many` keeps
+the strict contract and raises :class:`~repro.exec.resilience.
+SweepFailure` when anything ultimately failed.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.common.errors import InvalidValueError
 from repro.exec.cache import ResultCache
+from repro.exec.chaos import ChaosPlan, apply_chaos
+from repro.exec.resilience import (
+    RetryPolicy,
+    RunFailure,
+    RunJournal,
+    SpecTimeoutError,
+    SweepFailure,
+    WorkerFailure,
+    failure_from_error,
+)
 from repro.exec.spec import RunSpec, build_traces
 from repro.sim.results import SimulationResult
-from repro.common.errors import InvalidValueError
 
 #: Result provenance labels reported via :class:`RunEvent`.
 SOURCE_CACHE = "cache"
 SOURCE_SERIAL = "serial"
 SOURCE_POOL = "pool"
+
+#: Seconds between deadline sweeps while draining a pool round.
+_POLL_INTERVAL = 0.1
 
 
 def execute_spec(spec: RunSpec) -> SimulationResult:
@@ -62,6 +90,30 @@ def _timed_execute(spec: RunSpec) -> tuple[SimulationResult, float]:
     return result, time.perf_counter() - started
 
 
+def _guarded_execute(
+    spec: RunSpec,
+    run_id: str,
+    attempt: int,
+    chaos: Optional[ChaosPlan] = None,
+    in_worker: bool = True,
+) -> tuple[SimulationResult, float]:
+    """The pool task: chaos hook + provenance-preserving exception wrap.
+
+    Any exception crossing the pool pipe is re-raised as a pickle-safe
+    :class:`WorkerFailure` carrying the spec's cache key and the run id —
+    a worker raise never arrives anonymous.  ``from None``: exception
+    chains do not survive pickling, so the original is flattened into the
+    wrapper's fields instead.
+    """
+    key = spec.cache_key()
+    try:
+        if chaos is not None:
+            apply_chaos(chaos, key, attempt, in_worker=in_worker)
+        return _timed_execute(spec)
+    except Exception as error:
+        raise WorkerFailure.wrap(key, run_id, spec.describe(), error) from None
+
+
 @dataclass(frozen=True)
 class RunEvent:
     """One completed run, as reported to progress callbacks."""
@@ -74,22 +126,74 @@ class RunEvent:
     source: str
 
 
+@dataclass
+class WaveResult:
+    """Outcome of one fault-isolated batch (:meth:`Executor.run_wave`)."""
+
+    #: Results aligned 1:1 with the submitted specs; None where the
+    #: spec's run ultimately failed.
+    results: list[Optional[SimulationResult]]
+    #: One record per distinct failed spec (attempts exhausted).
+    failures: list[RunFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_on_failure(self) -> list[SimulationResult]:
+        """The strict view: all results, or :class:`SweepFailure`."""
+        if self.failures:
+            raise SweepFailure(self.failures)
+        return self.results  # type: ignore[return-value]
+
+
+@dataclass
+class _Flight:
+    """One in-flight pool attempt."""
+
+    key: str
+    spec: RunSpec
+    attempt: int
+    #: Wall-clock deadline (monotonic), stamped when the future is first
+    #: observed running — queue time never counts against the budget.
+    deadline: Optional[float] = None
+
+
 class Executor:
-    """Runs batches of specs with caching and optional parallelism."""
+    """Runs batches of specs with caching, parallelism, and isolation."""
 
     def __init__(
         self,
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         on_run: Optional[Callable[[RunEvent], None]] = None,
+        retry: Optional[RetryPolicy] = None,
+        run_timeout: Optional[float] = None,
+        journal: Optional[RunJournal] = None,
+        fail_fast: bool = False,
+        chaos: Optional[ChaosPlan] = None,
+        run_id: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise InvalidValueError("jobs must be >= 1")
+        if run_timeout is not None and run_timeout <= 0:
+            raise InvalidValueError("run_timeout must be > 0 (or None)")
         self.jobs = jobs
         self.cache = cache
         self.on_run = on_run
+        self.retry = retry if retry is not None else RetryPolicy(retries=0)
+        self.run_timeout = run_timeout
+        self.journal = journal
+        self.fail_fast = fail_fast
+        self.chaos = chaos
+        #: Identifies this executor's appends in a shared journal.
+        self.run_id = run_id or f"run-{os.getpid()}-{int(time.time())}"
         #: Simulations actually executed (cache hits excluded).
         self.executed = 0
+        #: Attempts that failed and were re-queued (retry traffic).
+        self.retried = 0
+        #: Every spec that ultimately failed, across this executor's life.
+        self.failures: list[RunFailure] = []
 
     # ------------------------------------------------------------------
     def run(self, spec: RunSpec) -> SimulationResult:
@@ -97,7 +201,20 @@ class Executor:
         return self.run_many([spec])[0]
 
     def run_many(self, specs: Sequence[RunSpec]) -> list[SimulationResult]:
-        """Run a batch; results align 1:1 with the submitted specs."""
+        """Run a batch; results align 1:1 with the submitted specs.
+
+        Strict: raises :class:`SweepFailure` if any spec still failed
+        after retries.  Use :meth:`run_wave` to consume partial waves.
+        """
+        return self.run_wave(specs).raise_on_failure()
+
+    def run_wave(self, specs: Sequence[RunSpec]) -> WaveResult:
+        """Run a batch with fault isolation; failures never propagate.
+
+        Every spec either yields a result (cache, serial, or pool) or a
+        structured :class:`RunFailure` after its attempt budget runs out;
+        one bad spec cannot take down the others' work.
+        """
         specs = list(specs)
         by_key: dict[str, SimulationResult] = {}
         # Deduplicate while preserving first-appearance order so the
@@ -111,16 +228,24 @@ class Executor:
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
                 by_key[key] = cached
+                self._journal_completed(key, SOURCE_CACHE, 0.0)
                 self._notify(RunEvent(spec, cached, 0.0, SOURCE_CACHE))
             else:
                 pending.append((key, spec))
+        failures: list[RunFailure] = []
         if pending:
             if self.jobs > 1 and len(pending) > 1:
-                self._run_pool(pending, by_key)
+                self._run_pool(pending, by_key, failures)
             else:
-                self._run_serial(pending, by_key)
-        return [by_key[spec.cache_key()] for spec in specs]
+                self._run_serial(pending, by_key, failures)
+        self.failures.extend(failures)
+        return WaveResult(
+            results=[by_key.get(spec.cache_key()) for spec in specs],
+            failures=failures,
+        )
 
+    # ------------------------------------------------------------------
+    # Completion / failure bookkeeping
     # ------------------------------------------------------------------
     def _complete(
         self,
@@ -135,44 +260,305 @@ class Executor:
         self.executed += 1
         if self.cache is not None:
             self.cache.put(spec, result)
+        self._journal_completed(key, source, elapsed)
         self._notify(RunEvent(spec, result, elapsed, source))
+
+    def _fail(
+        self,
+        key: str,
+        spec: RunSpec,
+        error: BaseException,
+        attempt: int,
+        failures: list[RunFailure],
+    ) -> None:
+        failure = failure_from_error(key, spec.describe(), error, attempt)
+        failures.append(failure)
+        if self.journal is not None:
+            self.journal.failed(failure, self.run_id)
+        if self.fail_fast:
+            # The wave is aborted before run_wave can fold the local
+            # failure list in, so record it here for run_stats/reports.
+            self.failures.append(failure)
+            raise SweepFailure([failure])
 
     def _notify(self, event: RunEvent) -> None:
         if self.on_run is not None:
             self.on_run(event)
 
+    def _journal_submitted(self, key: str, spec: RunSpec, attempt: int) -> None:
+        if self.journal is not None:
+            self.journal.submitted(key, self.run_id, attempt, spec.describe())
+
+    def _journal_completed(self, key: str, source: str, elapsed: float) -> None:
+        if self.journal is not None:
+            self.journal.completed(key, self.run_id, source, elapsed)
+
+    def _backoff(self, key: str, attempt: int) -> None:
+        delay = self.retry.backoff(key, attempt)
+        if delay > 0:
+            time.sleep(delay)
+
+    # ------------------------------------------------------------------
+    # Serial execution (with the same retry/failure contract)
+    # ------------------------------------------------------------------
     def _run_serial(
         self,
         pending: Sequence[tuple[str, RunSpec]],
         by_key: dict[str, SimulationResult],
+        failures: list[RunFailure],
     ) -> None:
         for key, spec in pending:
-            result, elapsed = _timed_execute(spec)
-            self._complete(key, spec, result, elapsed, SOURCE_SERIAL, by_key)
+            attempt = 1
+            while True:
+                self._journal_submitted(key, spec, attempt)
+                try:
+                    result, elapsed = _guarded_execute(
+                        spec, self.run_id, attempt, self.chaos, in_worker=False
+                    )
+                except WorkerFailure as error:
+                    if self.retry.should_retry(error, attempt):
+                        self.retried += 1
+                        self._backoff(key, attempt)
+                        attempt += 1
+                        continue
+                    self._fail(key, spec, error, attempt, failures)
+                    break
+                self._complete(
+                    key, spec, result, elapsed, SOURCE_SERIAL, by_key
+                )
+                break
 
+    # ------------------------------------------------------------------
+    # Pool execution: rounds of submit/drain with worker replacement
+    # ------------------------------------------------------------------
     def _run_pool(
         self,
         pending: Sequence[tuple[str, RunSpec]],
         by_key: dict[str, SimulationResult],
+        failures: list[RunFailure],
     ) -> None:
-        """Parallel execution with graceful degradation to serial.
+        """Fault-isolated parallel execution.
 
-        A broken pool (killed worker, fork failure, unpicklable state)
-        must not lose the batch: whatever did not complete in the pool is
-        re-run serially in this process.
+        Work proceeds in *rounds*: each round owns one fresh
+        ``ProcessPoolExecutor``, submits everything queued, and drains
+        completions.  A broken pool (killed worker) or an expired
+        per-spec deadline ends the round — completed-but-unharvested
+        futures are salvaged first, transient casualties are re-queued
+        under the retry policy, the pool's workers are replaced, and the
+        next round continues.  Exhausted attempt budgets become
+        :class:`RunFailure` records, never wave aborts.
         """
-        remaining = dict(pending)
-        try:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                futures = {
-                    key: pool.submit(_timed_execute, spec)
-                    for key, spec in pending
-                }
-                for key, future in futures.items():
-                    result, elapsed = future.result()
-                    spec = remaining.pop(key)
-                    self._complete(
-                        key, spec, result, elapsed, SOURCE_POOL, by_key
+        queue: deque[tuple[str, RunSpec, int]] = deque(
+            (key, spec, 1) for key, spec in pending
+        )
+        while queue:
+            round_items = list(queue)
+            queue.clear()
+            try:
+                self._pool_round(round_items, by_key, failures, queue)
+            except SweepFailure:
+                raise  # fail-fast propagates out of the wave
+            except BrokenProcessPool as error:
+                # The pool broke outside the drain loop (e.g. at submit
+                # time): everything still queued for this round is a
+                # transient casualty of the same worker death.
+                for key, spec, attempt in round_items:
+                    if key in by_key:
+                        continue
+                    self._requeue_or_fail(
+                        key, spec, attempt, error, queue, failures
                     )
-        except (BrokenProcessPool, OSError):
-            self._run_serial(list(remaining.items()), by_key)
+
+    def _pool_round(
+        self,
+        items: list[tuple[str, RunSpec, int]],
+        by_key: dict[str, SimulationResult],
+        failures: list[RunFailure],
+        queue: deque[tuple[str, RunSpec, int]],
+    ) -> None:
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        inflight: dict[Future, _Flight] = {}
+        replaced_workers = False
+        try:
+            for key, spec, attempt in items:
+                self._journal_submitted(key, spec, attempt)
+                future = pool.submit(
+                    _guarded_execute, spec, self.run_id, attempt, self.chaos
+                )
+                inflight[future] = _Flight(key, spec, attempt)
+            while inflight:
+                done, _ = wait(
+                    set(inflight),
+                    timeout=_POLL_INTERVAL if self.run_timeout else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    flight = inflight.pop(future)
+                    broken |= self._harvest(future, flight, by_key, queue,
+                                            failures)
+                if broken:
+                    # A worker died: every remaining future is (or will
+                    # be) poisoned with BrokenProcessPool.  Drain what
+                    # already finished, classify the rest as transient
+                    # casualties, and end the round for a fresh pool.
+                    self._drain_broken(inflight, by_key, queue, failures)
+                    return
+                if self._expire_deadlines(inflight, queue, failures):
+                    # A spec blew its wall-clock budget.  The stuck
+                    # worker cannot be cancelled individually, so the
+                    # round's workers are terminated and replaced; other
+                    # in-flight specs re-queue without burning attempts.
+                    self._abandon_round(pool, inflight, by_key, queue,
+                                        failures)
+                    replaced_workers = True
+                    return
+        finally:
+            if replaced_workers:
+                _terminate_workers(pool)
+            pool.shutdown(wait=not replaced_workers, cancel_futures=True)
+
+    def _harvest(
+        self,
+        future: Future,
+        flight: _Flight,
+        by_key: dict[str, SimulationResult],
+        queue: deque[tuple[str, RunSpec, int]],
+        failures: list[RunFailure],
+    ) -> bool:
+        """Absorb one finished future; True when the pool is broken."""
+        if future.cancelled():
+            queue.append((flight.key, flight.spec, flight.attempt))
+            return False
+        error = future.exception()
+        if error is None:
+            result, elapsed = future.result()
+            self._complete(
+                flight.key, flight.spec, result, elapsed, SOURCE_POOL, by_key
+            )
+            return False
+        self._requeue_or_fail(
+            flight.key, flight.spec, flight.attempt, error, queue, failures
+        )
+        return isinstance(error, BrokenProcessPool)
+
+    def _requeue_or_fail(
+        self,
+        key: str,
+        spec: RunSpec,
+        attempt: int,
+        error: BaseException,
+        queue: deque[tuple[str, RunSpec, int]],
+        failures: list[RunFailure],
+    ) -> None:
+        if self.retry.should_retry(error, attempt):
+            self.retried += 1
+            self._backoff(key, attempt)
+            queue.append((key, spec, attempt + 1))
+        else:
+            self._fail(key, spec, error, attempt, failures)
+
+    def _drain_broken(
+        self,
+        inflight: dict[Future, _Flight],
+        by_key: dict[str, SimulationResult],
+        queue: deque[tuple[str, RunSpec, int]],
+        failures: list[RunFailure],
+    ) -> None:
+        """After a worker death: salvage completions, re-queue the rest.
+
+        Completed-but-unharvested futures still hold real results — they
+        are counted under ``SOURCE_POOL``, not re-run.  Unfinished
+        futures carry (or will carry) ``BrokenProcessPool``; they re-
+        enter the queue under the retry policy.
+        """
+        for future, flight in list(inflight.items()):
+            if future.done():
+                self._harvest(future, flight, by_key, queue, failures)
+            else:
+                self._requeue_or_fail(
+                    flight.key,
+                    flight.spec,
+                    flight.attempt,
+                    BrokenProcessPool(
+                        "worker process died before this spec finished"
+                    ),
+                    queue,
+                    failures,
+                )
+        inflight.clear()
+
+    def _expire_deadlines(
+        self,
+        inflight: dict[Future, _Flight],
+        queue: deque[tuple[str, RunSpec, int]],
+        failures: list[RunFailure],
+    ) -> bool:
+        """Stamp deadlines on newly running futures; expire overdue ones.
+
+        Returns True when at least one spec timed out (the caller must
+        then replace the round's workers).
+        """
+        if self.run_timeout is None:
+            return False
+        now = time.monotonic()
+        expired = False
+        for future, flight in list(inflight.items()):
+            if flight.deadline is None:
+                if future.running():
+                    flight.deadline = now + self.run_timeout
+                continue
+            if now < flight.deadline:
+                continue
+            inflight.pop(future)
+            future.cancel()
+            expired = True
+            self._requeue_or_fail(
+                flight.key,
+                flight.spec,
+                flight.attempt,
+                SpecTimeoutError(
+                    f"spec {flight.key[:12]} exceeded the "
+                    f"{self.run_timeout:.1f}s wall-clock budget "
+                    f"(attempt {flight.attempt})"
+                ),
+                queue,
+                failures,
+            )
+        return expired
+
+    def _abandon_round(
+        self,
+        pool: ProcessPoolExecutor,
+        inflight: dict[Future, _Flight],
+        by_key: dict[str, SimulationResult],
+        queue: deque[tuple[str, RunSpec, int]],
+        failures: list[RunFailure],
+    ) -> None:
+        """Salvage and re-queue around a worker-replacing teardown."""
+        for future, flight in list(inflight.items()):
+            if future.done():
+                self._harvest(future, flight, by_key, queue, failures)
+            else:
+                # Not timed out itself: a casualty of the teardown, so
+                # its attempt is not burned.
+                future.cancel()
+                queue.append((flight.key, flight.spec, flight.attempt))
+        inflight.clear()
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's worker processes (the hung-spec escape hatch).
+
+    ``ProcessPoolExecutor`` has no public per-worker cancellation; when a
+    spec must be abandoned mid-run the only safe move is to terminate the
+    round's workers and let the next round spawn fresh ones.  Touches the
+    private ``_processes`` map — guarded so a stdlib layout change
+    degrades to leaking the round's workers rather than crashing.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, AttributeError):
+            pass  # already dead, or not a real process object

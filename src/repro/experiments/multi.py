@@ -5,6 +5,11 @@ Table 10 workload run under PoM and under the evaluated scheme, with
 per-scheme stand-alone reference runs for the slowdown computation.  The
 sweep is cached inside the runner, so requesting several figures costs
 one simulation pass.
+
+Sweeps tolerate partial waves (DESIGN.md §15): a workload whose runs
+failed after retries is dropped from the metrics dict, and the figure
+renders it as a FAILED row with the failure table appended to the notes
+instead of aborting the whole figure.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Callable, Sequence
 
 from repro.analysis.plotting import hbar_chart
 from repro.analysis.report import normalized_series_summary
+from repro.exec import format_failure_table
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import ExperimentRunner
 from repro.sim.metrics import WorkloadMetrics
@@ -29,21 +35,31 @@ def sweep(
     The entire sweep — every workload x policy run plus the stand-alone
     reference runs — is prefetched as one batch, so with ``jobs > 1``
     the whole figure simulates in parallel.
+
+    Workloads whose runs failed (after the executor's retries) are
+    omitted from the returned dict rather than raising; callers can
+    compare against the requested ``workloads`` list and consult
+    ``runner.failures`` for the cause.
     """
-    runner.prefetch(
-        [
+    specs_by_workload = {
+        name: [
             spec
-            for name in workloads
             for policy in policies
             for spec in runner.workload_metric_specs(name, policy)
         ]
+        for name in workloads
+    }
+    runner.prefetch(
+        [spec for specs in specs_by_workload.values() for spec in specs]
     )
+    failed = runner.failed_keys()
     return {
         name: {
             policy: runner.workload_metrics(name, policy)
             for policy in policies
         }
         for name in workloads
+        if not any(spec.cache_key() in failed for spec in specs_by_workload[name])
     }
 
 
@@ -57,22 +73,37 @@ def normalized_figure(
     baseline: str = "pom",
     workloads: Sequence[str] = WORKLOAD_NAMES,
 ) -> ExperimentResult:
-    """Build one Figure 10-15 style normalized comparison."""
+    """Build one Figure 10-15 style normalized comparison.
+
+    Failed workloads render as FAILED rows; the figure only raises if
+    *every* workload failed (there is nothing left to normalize).
+    """
     metrics = sweep(runner, [baseline, policy], workloads)
     series: dict[str, float] = {}
     rows = []
     for name in workloads:
+        if name not in metrics:
+            rows.append([name, "FAILED", "FAILED", "-"])
+            continue
         base_value = metric(metrics[name][baseline])
         new_value = metric(metrics[name][policy])
         ratio = new_value / base_value
         series[name] = ratio
         rows.append([name, base_value, new_value, ratio])
-    summary = normalized_series_summary(series, higher_is_better)
+    notes = hbar_chart(series, baseline=1.0) if series else ""
+    if any(name not in metrics for name in workloads):
+        table = format_failure_table(runner.failures)
+        notes = f"{notes}\n\n{table}" if notes else table
+    summary = (
+        normalized_series_summary(series, higher_is_better)
+        if series
+        else f"all {len(workloads)} workloads FAILED; see failure table"
+    )
     return ExperimentResult(
         experiment_id=experiment_id,
         title=title,
         headers=["workload", baseline, policy, f"{policy}/{baseline}"],
         rows=rows,
         summary=summary,
-        notes=hbar_chart(series, baseline=1.0),
+        notes=notes,
     )

@@ -202,6 +202,23 @@ def _header(description: str) -> list[str]:
         "not the kernel.  The raw payload is the `BENCH_kernel-<sha>`",
         "artifact on each run.",
         "",
+        "Resuming an interrupted sweep: run the long figure sweeps with a",
+        "disk cache and a journal, e.g. `profess run fig10 fig11 fig12",
+        "fig13 fig14 fig15 fig16 --jobs 8 --cache-dir .cache --retries 2",
+        "--run-timeout 900`.  Every completed simulation lands in the",
+        "cache and `.cache/journal.jsonl` records each submission and",
+        "outcome, so a crash, an eviction, or a Ctrl-C loses at most the",
+        "in-flight runs.  Rerun the identical command with `--resume`",
+        "added: the journal replay prints a",
+        "completed/failed/pending summary, completed runs are served",
+        "from the cache (integrity-checked; corrupt entries are moved to",
+        "`.cache/quarantine/` once and re-simulated), and only failures",
+        "and pending work re-execute.  Runs that still fail after the",
+        "retry budget render as FAILED rows with a failure table on",
+        "stderr (exit 1) rather than aborting the sweep; add",
+        "`--fail-fast` to abort on the first failure instead.  See",
+        "DESIGN.md §15 for the full failure-handling contract.",
+        "",
     ]
 
 
@@ -270,12 +287,21 @@ def format_run_stats(runner: ExperimentRunner) -> str:
     signal that no re-simulation happened (asserted in CI).
     """
     stats = runner.run_stats()
-    return (
+    line = (
         f"cache: disk hits={stats['disk_hits']} "
         f"misses={stats['disk_misses']} stores={stats['disk_stores']} "
         f"memory hits={stats['memory_hits']}; "
         f"simulations executed: {stats['executed']}"
     )
+    resilience = {
+        key: stats[key]
+        for key in ("retried", "failures", "quarantined", "store_errors")
+        if stats[key]
+    }
+    if resilience:
+        extras = " ".join(f"{k}={v}" for k, v in resilience.items())
+        line += f"; resilience: {extras}"
+    return line
 
 
 def render_from_store(

@@ -30,8 +30,18 @@ from repro.common.config import (
     paper_quad_core,
     paper_single_core,
 )
+from repro.common.errors import InvalidValueError
 from repro.cpu.trace import Trace
-from repro.exec import Executor, ResultCache, RunEvent, RunSpec
+from repro.exec import (
+    Executor,
+    ResultCache,
+    RetryPolicy,
+    RunEvent,
+    RunFailure,
+    RunJournal,
+    RunSpec,
+)
+from repro.exec.resilience import JournalState
 from repro.exec.spec import workload_traces as _workload_traces
 from repro.policies.registry import canonical_policy
 from repro.sim.metrics import WorkloadMetrics
@@ -63,6 +73,10 @@ class ExperimentRunner:
         validate_every: int = 0,
         policies: Optional[Sequence[str]] = None,
         mem_backend: str = "auto",
+        retries: int = 0,
+        run_timeout: Optional[float] = None,
+        fail_fast: bool = False,
+        resume: bool = False,
     ) -> None:
         self.scale = scale
         self.multi_requests = multi_requests
@@ -96,8 +110,31 @@ class ExperimentRunner:
         self.cache = (
             ResultCache(cache_dir) if cache_dir is not None else None
         )
+        #: The append-only run journal lives beside the cache entries; a
+        #: cache-less runner keeps no journal (nothing to resume into).
+        self.journal = (
+            RunJournal.beside(cache_dir) if cache_dir is not None else None
+        )
+        if resume and self.journal is None:
+            raise InvalidValueError(
+                "resume requires a cache directory (the journal lives "
+                "beside the cache; pass cache_dir / --cache-dir)"
+            )
+        #: Replayed journal state when resuming, else None.  Completed
+        #: keys are expected to hit the disk cache; failed keys are
+        #: simply re-attempted, which is all a resume needs — the cache
+        #: is content-addressed, so nothing completed re-simulates.
+        self.resume_state: Optional[JournalState] = (
+            self.journal.replay() if resume and self.journal else None
+        )
         self.executor = Executor(
-            jobs=jobs, cache=self.cache, on_run=self._on_run
+            jobs=jobs,
+            cache=self.cache,
+            on_run=self._on_run,
+            retry=RetryPolicy(retries=retries, seed=seed),
+            run_timeout=run_timeout,
+            journal=self.journal,
+            fail_fast=fail_fast,
         )
         self._memory: dict[str, SimulationResult] = {}
         #: Batch requests served from the in-process memo.
@@ -257,6 +294,11 @@ class ExperimentRunner:
         through the executor (process pool when ``jobs > 1``), and
         memoizes the results so subsequent :meth:`execute` calls are
         in-process hits.
+
+        Failures do not abort the wave: successful runs are memoized,
+        failed keys are recorded on the executor (see :meth:`failures`)
+        and surface only when a figure actually needs them — the figure
+        drivers consume partial waves and mark those rows as FAILED.
         """
         fresh: dict[str, RunSpec] = {}
         for spec in specs:
@@ -265,9 +307,10 @@ class ExperimentRunner:
                 fresh.setdefault(key, spec)
         if not fresh:
             return
-        results = self.executor.run_many(list(fresh.values()))
-        for key, result in zip(fresh, results):
-            self._memory[key] = result
+        wave = self.executor.run_wave(list(fresh.values()))
+        for key, result in zip(fresh, wave.results):
+            if result is not None:
+                self._memory[key] = result
 
     def _on_run(self, event: RunEvent) -> None:
         if self.verbose:
@@ -290,8 +333,35 @@ class ExperimentRunner:
             "disk_hits": self.cache.hits if self.cache else 0,
             "disk_misses": self.cache.misses if self.cache else 0,
             "disk_stores": self.cache.stores if self.cache else 0,
+            "retried": self.executor.retried,
+            "failures": len(self.executor.failures),
+            "quarantined": self.cache.quarantined if self.cache else 0,
+            "store_errors": self.cache.store_errors if self.cache else 0,
         }
         return stats
+
+    @property
+    def failures(self) -> list[RunFailure]:
+        """Every spec that exhausted retries, across all waves so far."""
+        return self.executor.failures
+
+    def failed_keys(self) -> set[str]:
+        """Cache keys of failed specs (figure drivers skip these rows)."""
+        return {failure.key for failure in self.executor.failures}
+
+    def resume_summary(self) -> Optional[str]:
+        """One-line journal digest when resuming, else None."""
+        if self.resume_state is None:
+            return None
+        state = self.resume_state
+        pieces = (
+            f"{len(state.completed)} completed, "
+            f"{len(state.failed)} failed, "
+            f"{len(state.pending())} pending"
+        )
+        if state.skipped_lines:
+            pieces += f" ({state.skipped_lines} unreadable journal lines)"
+        return f"resume: journal shows {pieces}"
 
     # ------------------------------------------------------------------
     # Cached runs (thin RunSpec wrappers)

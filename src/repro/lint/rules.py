@@ -56,6 +56,8 @@ RULES: dict[str, str] = {
     "hints",
     "C305": "direct policy-class construction outside repro.policies/"
     "repro.core (use repro.policies.registry.build_policy)",
+    "C306": "broad `except Exception` handler that swallows the error "
+    "(no raise in the handler body)",
     "E999": "file could not be parsed",
 }
 
@@ -625,7 +627,27 @@ class _Checker(ast.NodeVisitor):
                     handler,
                     "bare except: catch a specific exception type",
                 )
+            elif self._handler_is_broad(handler.type) and not any(
+                isinstance(child, ast.Raise)
+                for statement in handler.body
+                for child in ast.walk(statement)
+            ):
+                self._emit(
+                    "C306",
+                    handler,
+                    "except Exception swallows the error: re-raise, "
+                    "convert to a ReproError, or justify with "
+                    "`# repro: noqa[C306]`",
+                )
         self.generic_visit(node)
+
+    def _handler_is_broad(self, type_node: ast.expr) -> bool:
+        """Whether a handler type names Exception/BaseException (C306),
+        including anywhere inside a tuple of types."""
+        if isinstance(type_node, ast.Tuple):
+            return any(self._handler_is_broad(e) for e in type_node.elts)
+        resolved = resolve_dotted(self.info, type_node)
+        return resolved in ("Exception", "BaseException")
 
     def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
         if self._hot_depth > 0 and self._raise_depth == 0:

@@ -70,7 +70,10 @@ def compiled_available() -> bool:
         _numba_checked = True
         try:  # graceful fallback: numba is an optional extra
             from numba import njit
-        except Exception:  # pragma: no cover - depends on environment
+        # Any import-time failure (not just ImportError: broken LLVM
+        # installs raise SystemError and friends) degrades to the
+        # interpreted kernel.
+        except Exception:  # pragma: no cover  # repro: noqa[C306]
             _numba_njit = None
         else:
             _numba_njit = njit

@@ -113,6 +113,21 @@ def golden_digest(name: str, mem_backend: Optional[str] = None) -> str:
     ).hexdigest()
 
 
+def result_digest(result) -> str:
+    """Canonical SHA-256 of one :class:`SimulationResult`.
+
+    The byte-identity contract for resilient execution (DESIGN.md §15):
+    however a result was obtained — serial, pooled, retried after a
+    worker death, replayed through ``--resume``, or read back from the
+    integrity-checked cache — its canonical serialization must hash the
+    same as a clean serial run's.  The chaos suite asserts exactly this.
+    Uses the same serialization as the golden blobs so the two
+    determinism contracts cannot drift apart.
+    """
+    text = json.dumps(result.to_dict(), indent=1, sort_keys=True) + "\n"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def golden_digests(mem_backend: Optional[str] = None) -> Dict[str, str]:
     """Digest of every golden scenario (the cross-version CI payload)."""
     return {

@@ -1,0 +1,15 @@
+"""C306: broad handlers that swallow the error without re-raising."""
+
+
+def quiet_load(path):
+    try:
+        return path.read_text()
+    except Exception:
+        return None
+
+
+def quiet_tuple(path):
+    try:
+        return path.read_text()
+    except (ValueError, BaseException):
+        return None

@@ -24,6 +24,21 @@ SCALE = 128
 CONFIG = paper_single_core(scale=SCALE)
 
 
+def _cache_worker(directory: str, worker: int) -> str:
+    """Interleave puts and gets against a shared cache (spawn target)."""
+    cache = ResultCache(directory)
+    s = spec()
+    result = execute_spec(s)
+    for _ in range(20):
+        if worker == 0:
+            cache.put(s, result)
+        restored = cache.get(s)  # a miss is legal; an exception is not
+        if restored is not None and restored.to_dict() != result.to_dict():
+            return "mismatch"
+    cache.put(s, result)
+    return "ok"
+
+
 def spec(**overrides) -> RunSpec:
     base = dict(
         kind="single",
@@ -103,7 +118,13 @@ class TestResultCache:
         restored = cache.get(s)
         assert restored is not None
         assert restored.to_dict() == result.to_dict()
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "quarantined": 0,
+            "store_errors": 0,
+        }
 
     def test_version_mismatch_is_miss(self, tmp_path, monkeypatch):
         cache = ResultCache(tmp_path)
@@ -119,6 +140,74 @@ class TestResultCache:
         cache.put(s, execute_spec(s))
         cache._path(s.cache_key()).write_text("{not json")
         assert cache.get(s) is None
+
+    def test_truncated_entry_quarantined_once(self, tmp_path):
+        # A process killed mid-write leaves a partial payload: the entry
+        # must read as a miss, move to quarantine/ exactly once, and
+        # never raise on later lookups.
+        cache = ResultCache(tmp_path)
+        s = spec()
+        path = cache.put(s, execute_spec(s))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert cache.get(s) is None
+        assert cache.quarantined == 1
+        assert cache.quarantine_count() == 1
+        assert not path.exists()  # moved, not copied
+        # The next lookup is a plain miss: nothing new to quarantine.
+        assert cache.get(s) is None
+        assert cache.quarantined == 1
+
+    def test_digest_tamper_is_quarantined_miss(self, tmp_path):
+        import json as json_module
+
+        cache = ResultCache(tmp_path)
+        s = spec()
+        path = cache.put(s, execute_spec(s))
+        payload = json_module.loads(path.read_text())
+        payload["result"]["total_cycles"] = 12345  # bit-flip the payload
+        path.write_text(json_module.dumps(payload))
+        assert cache.get(s) is None
+        assert cache.quarantined == 1
+
+    def test_read_only_cache_never_raises(self, tmp_path, monkeypatch):
+        # chmod is unreliable under root, so a read-only directory is
+        # simulated at the rename layer every mutation funnels through.
+        cache = ResultCache(tmp_path)
+        s = spec()
+        result = execute_spec(s)
+        cache.put(s, result)
+        cache._path(s.cache_key()).write_text("{not json")
+        monkeypatch.setattr(
+            cache_module.os,
+            "replace",
+            lambda *args: (_ for _ in ()).throw(PermissionError("read-only")),
+        )
+        # Corrupt entry in a read-only directory: quarantine is
+        # impossible, but the lookup must still be a quiet miss.
+        assert cache.get(s) is None
+        assert cache.quarantined == 0
+        # And writes degrade to counted no-ops instead of raising.
+        cache.put(s, result)
+        assert cache.store_errors == 1
+
+    def test_concurrent_put_get_two_processes(self, tmp_path):
+        # Two processes hammering the same entry: atomic temp+rename
+        # writes mean every read sees a complete payload or a miss.
+        import multiprocessing
+
+        s = spec()
+        result = execute_spec(s)
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(2) as pool:
+            outcomes = pool.starmap(
+                _cache_worker,
+                [(str(tmp_path), 0), (str(tmp_path), 1)],
+            )
+        assert all(outcome == "ok" for outcome in outcomes)
+        restored = ResultCache(tmp_path).get(s)
+        assert restored is not None
+        assert restored.to_dict() == result.to_dict()
 
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)

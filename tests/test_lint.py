@@ -87,6 +87,7 @@ CASES: dict[str, Case] = {
     "C303": Case(module="repro.analysis.fixture"),
     "C304": Case(module="repro.common.fixture"),
     "C305": Case(module="repro.experiments.fixture"),
+    "C306": Case(module="repro.analysis.fixture"),
     "E999": Case(module="repro.analysis.fixture"),
 }
 
@@ -167,6 +168,7 @@ class TestRulesFire:
         assert len(lint_case("H204", "bad")) == 7
         assert len(lint_case("C302", "bad")) == 3  # list, dict, set
         assert len(lint_case("C303", "bad")) == 2  # local class + builtin
+        assert len(lint_case("C306", "bad")) == 2  # plain + inside tuple
 
 
 class TestSuppressions:

@@ -2,25 +2,54 @@
 
 import pytest
 
+from repro.exec.resilience import RunFailure
 from repro.experiments.multi import normalized_figure, sweep
 from repro.sim.metrics import WorkloadMetrics
+
+
+class FakeSpec:
+    """Just enough of a RunSpec for the sweep's failure bookkeeping."""
+
+    def __init__(self, key):
+        self.key = key
+
+    def cache_key(self):
+        return self.key
 
 
 class StubRunner:
     """Returns canned WorkloadMetrics; counts calls for cache checks."""
 
-    def __init__(self, values):
+    def __init__(self, values, failed=()):
         # values[workload][policy] -> (unfairness, weighted_speedup)
         self.values = values
         self.calls = 0
         self.prefetched = 0
+        #: Workload names whose (fake) runs failed after retries.
+        self.failed_workloads = set(failed)
+        self.failures = [
+            RunFailure(
+                key=f"{name}:pom",
+                label=f"multi:{name}:pom",
+                error_type="ChaosError",
+                message="injected",
+                traceback_digest="0123456789ab",
+                attempts=1,
+                retryable=False,
+            )
+            for name in sorted(self.failed_workloads)
+        ]
 
     def workload_metric_specs(self, name, policy, config=None):
-        # Canned metrics need no simulations, hence no specs to batch.
-        return []
+        # Canned metrics need no simulations; one fake spec per request
+        # keeps the failure bookkeeping observable.
+        return [FakeSpec(f"{name}:{policy}")]
 
     def prefetch(self, specs):
         self.prefetched += len(specs)
+
+    def failed_keys(self):
+        return {f"{name}:pom" for name in self.failed_workloads}
 
     def workload_metrics(self, name, policy, config=None):
         self.calls += 1
@@ -49,6 +78,13 @@ class TestSweep:
         result = sweep(runner, ["pom", "mdm"], workloads=["w01", "w02"])
         assert set(result) == {"w01", "w02"}
         assert result["w01"]["mdm"].unfairness == 3.6
+
+    def test_failed_workloads_are_omitted(self):
+        runner = StubRunner(VALUES, failed=["w01"])
+        result = sweep(runner, ["pom", "mdm"], workloads=["w01", "w02"])
+        assert set(result) == {"w02"}
+        # The failed workload's metrics were never requested.
+        assert runner.calls == 2
 
 
 class TestNormalizedFigure:
@@ -85,3 +121,38 @@ class TestNormalizedFigure:
         )
         assert "baseline" in result.notes
         assert "w01" in result.notes
+
+    def test_partial_wave_renders_failed_rows(self):
+        runner = StubRunner(VALUES, failed=["w01"])
+        result = normalized_figure(
+            runner,
+            "figX",
+            "test figure",
+            policy="mdm",
+            metric=lambda m: m.unfairness,
+            higher_is_better=False,
+            workloads=["w01", "w02"],
+        )
+        rows = {row[0]: row for row in result.rows}
+        assert rows["w01"][1:] == ["FAILED", "FAILED", "-"]
+        assert rows["w02"][3] == pytest.approx(1.1)
+        # The summary covers only survivors; the failure table rides
+        # along in the notes.
+        assert result.summary["geomean"] == pytest.approx(1.1)
+        assert "ChaosError" in result.notes
+        assert "1 failed run(s)" in result.notes
+
+    def test_all_failed_degrades_to_a_message(self):
+        runner = StubRunner(VALUES, failed=["w01", "w02"])
+        result = normalized_figure(
+            runner,
+            "figX",
+            "test figure",
+            policy="mdm",
+            metric=lambda m: m.unfairness,
+            higher_is_better=False,
+            workloads=["w01", "w02"],
+        )
+        assert all(row[1] == "FAILED" for row in result.rows)
+        assert "FAILED" in result.summary
+        assert "ChaosError" in result.notes
