@@ -341,9 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (json is one object with a findings array)",
+        help="output format (json is one object with a findings array; "
+        "sarif is a SARIF 2.1.0 log for GitHub code scanning)",
     )
     lint_parser.add_argument(
         "--select",
@@ -359,6 +360,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--changed",
         action="store_true",
         help="lint only files changed vs HEAD (pre-commit mode)",
+    )
+    lint_parser.add_argument(
+        "--exclude",
+        action="append",
+        type=Path,
+        default=[],
+        metavar="PATH",
+        help="file or directory subtree to skip (repeatable; used to "
+        "keep deliberately-broken lint fixtures out of a tests/ sweep)",
+    )
+    lint_parser.add_argument(
+        "--show-unused-noqa",
+        action="store_true",
+        help="also report `# repro: noqa` comments that no longer match "
+        "any finding (rule W001)",
     )
     lint_parser.add_argument(
         "--list-rules",
@@ -640,7 +656,7 @@ def _golden(args: argparse.Namespace) -> int:
 def _lint(args: argparse.Namespace) -> int:
     import json
 
-    from repro.lint import RULES, LintError, lint_paths
+    from repro.lint import RULES, LintError, lint_paths, render_sarif
 
     if args.list_rules:
         width = max(len(rule) for rule in RULES)
@@ -654,6 +670,8 @@ def _lint(args: argparse.Namespace) -> int:
             select=args.select,
             ignore=args.ignore,
             changed_only=args.changed,
+            exclude=args.exclude,
+            show_unused_noqa=args.show_unused_noqa,
         )
     except LintError as error:
         print(f"lint: {error}", file=sys.stderr)
@@ -668,9 +686,11 @@ def _lint(args: argparse.Namespace) -> int:
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        print(json.dumps(render_sarif(findings), indent=2))
     else:
         for finding in findings:
-            print(finding.render())
+            print(finding.render_trace())
         if findings:
             counts: dict[str, int] = {}
             for finding in findings:

@@ -481,6 +481,15 @@ class SystemConfig:
     #: :meth:`cache_token` (see DESIGN.md §14).
     mem_backend: str = "auto"
 
+    #: Reviewed record of every field :meth:`cache_token` excludes from
+    #: the content hash (enforced by lint rule K401; stale entries are
+    #: K402).  An entry asserts the field cannot change simulation
+    #: results: ``axes`` is omitted only while it holds inherit-defaults
+    #: (any real value re-enters the digest), and ``mem_backend`` selects
+    #: between byte-identical kernels (CI backend-parity job).  Amending
+    #: this tuple is a reviewed decision — see DESIGN.md §16.
+    _CACHE_NEUTRAL_FIELDS = ("axes", "mem_backend")
+
     def __post_init__(self) -> None:
         if self.num_cores < 1:
             raise ConfigError("num_cores must be >= 1")

@@ -55,6 +55,13 @@ class RunSpec:
     #: and cached results are served without re-simulation.
     validate_every: int = 0
 
+    #: Reviewed record of every field :meth:`cache_key` excludes from the
+    #: content hash (lint rule K401 enforces it; K402 flags stale
+    #: entries).  ``validate_every`` only toggles in-run invariant
+    #: auditing — a validated result is byte-identical to an unvalidated
+    #: one — so serving either from cache is sound.  See DESIGN.md §16.
+    _CACHE_NEUTRAL_FIELDS = ("validate_every",)
+
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise InvalidValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
@@ -91,7 +98,7 @@ class RunSpec:
         """Short human-readable label (progress lines, cache metadata)."""
         return f"{self.kind}:{'+'.join(self.programs)}:{self.policy}"
 
-    def with_config(self, **overrides) -> "RunSpec":
+    def with_config(self, **overrides: object) -> "RunSpec":
         """A copy with top-level config fields replaced."""
         return replace(self, config=replace(self.config, **overrides))
 

@@ -1,0 +1,209 @@
+"""Per-function control-flow graphs for the dataflow rules (DESIGN.md §16).
+
+:func:`build_cfg` lowers one function body into basic blocks of
+*elements* — plain AST statements plus the branch-test expressions that
+the statement-level AST hides inside compound nodes — connected by
+successor edges.  The graph is deliberately coarse where precision buys
+nothing for taint tracking:
+
+* ``try`` bodies edge conservatively from every body block to every
+  handler (an exception may fire anywhere inside the body);
+* ``match`` evaluates its subject but does not model capture-pattern
+  bindings (a fall-through edge keeps the join sound);
+* nested ``def``/``class`` statements are opaque single elements — each
+  nested function gets its own CFG when the flow pass reaches it.
+
+Element kinds a transfer function must handle:
+
+* ``ast.stmt`` — simple statements (assignments, returns, raises, ...).
+  ``ast.With`` appears as an element for its item bindings only; its
+  body statements live in the same block stream.  ``ast.For`` appears as
+  the loop-header element binding its target from its iterable.
+* ``ast.expr`` — branch tests (``if``/``while``), ``match`` subjects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+#: What a basic block holds: statements, plus bare test expressions.
+Element = Union[ast.stmt, ast.expr]
+
+
+@dataclass(slots=True)
+class Block:
+    """One basic block: straight-line elements plus successor indices."""
+
+    index: int
+    elements: list[Element] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class CFG:
+    """A function's control-flow graph (entry is block 0)."""
+
+    blocks: list[Block] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+
+    def new_block(self) -> Block:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: Block, dst: Block) -> None:
+        if dst.index not in src.succs:
+            src.succs.append(dst.index)
+
+
+class _Builder:
+    """Recursive-descent CFG construction over a statement list."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        entry = self.cfg.new_block()
+        exit_block = self.cfg.new_block()
+        self.cfg.entry = entry.index
+        self.cfg.exit = exit_block.index
+        self._exit = exit_block
+
+    # ------------------------------------------------------------------
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        end = self._sequence(body, self.cfg.blocks[self.cfg.entry], [])
+        if end is not None:
+            self.cfg.edge(end, self._exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _sequence(
+        self,
+        stmts: Sequence[ast.stmt],
+        current: Optional[Block],
+        loops: list[tuple[Block, Block]],
+    ) -> Optional[Block]:
+        """Thread ``stmts`` through blocks; None means flow terminated."""
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code after return/raise/break: stop — the
+                # dataflow pass only visits reachable blocks anyway.
+                return None
+            current = self._statement(stmt, current, loops)
+        return current
+
+    def _statement(
+        self,
+        stmt: ast.stmt,
+        current: Block,
+        loops: list[tuple[Block, Block]],
+    ) -> Optional[Block]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            current.elements.append(stmt.test)
+            after = cfg.new_block()
+            then_entry = cfg.new_block()
+            cfg.edge(current, then_entry)
+            then_end = self._sequence(stmt.body, then_entry, loops)
+            if then_end is not None:
+                cfg.edge(then_end, after)
+            if stmt.orelse:
+                else_entry = cfg.new_block()
+                cfg.edge(current, else_entry)
+                else_end = self._sequence(stmt.orelse, else_entry, loops)
+                if else_end is not None:
+                    cfg.edge(else_end, after)
+            else:
+                cfg.edge(current, after)
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg.new_block()
+            cfg.edge(current, header)
+            header.elements.append(
+                stmt.test if isinstance(stmt, ast.While) else stmt
+            )
+            after = cfg.new_block()
+            body_entry = cfg.new_block()
+            cfg.edge(header, body_entry)
+            body_end = self._sequence(
+                stmt.body, body_entry, loops + [(header, after)]
+            )
+            if body_end is not None:
+                cfg.edge(body_end, header)
+            if stmt.orelse:
+                else_entry = cfg.new_block()
+                cfg.edge(header, else_entry)
+                else_end = self._sequence(stmt.orelse, else_entry, loops)
+                if else_end is not None:
+                    cfg.edge(else_end, after)
+            else:
+                cfg.edge(header, after)
+            return after
+        if isinstance(stmt, ast.Try):
+            body_start = len(cfg.blocks)
+            body_entry = cfg.new_block()
+            cfg.edge(current, body_entry)
+            body_end = self._sequence(stmt.body, body_entry, loops)
+            if body_end is not None and stmt.orelse:
+                body_end = self._sequence(stmt.orelse, body_end, loops)
+            # Every block minted for the body may raise into any handler.
+            body_blocks = cfg.blocks[body_start : len(cfg.blocks)]
+            after = cfg.new_block()
+            tails: list[Block] = []
+            if body_end is not None:
+                tails.append(body_end)
+            for handler in stmt.handlers:
+                handler_entry = cfg.new_block()
+                for block in body_blocks:
+                    cfg.edge(block, handler_entry)
+                handler_end = self._sequence(
+                    handler.body, handler_entry, loops
+                )
+                if handler_end is not None:
+                    tails.append(handler_end)
+            if stmt.finalbody:
+                final_entry = cfg.new_block()
+                for tail in tails:
+                    cfg.edge(tail, final_entry)
+                final_end = self._sequence(stmt.finalbody, final_entry, loops)
+                if final_end is not None:
+                    cfg.edge(final_end, after)
+            else:
+                for tail in tails:
+                    cfg.edge(tail, after)
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.elements.append(stmt)
+            return self._sequence(stmt.body, current, loops)
+        if isinstance(stmt, ast.Match):
+            current.elements.append(stmt.subject)
+            after = cfg.new_block()
+            for case in stmt.cases:
+                case_entry = cfg.new_block()
+                cfg.edge(current, case_entry)
+                case_end = self._sequence(case.body, case_entry, loops)
+                if case_end is not None:
+                    cfg.edge(case_end, after)
+            cfg.edge(current, after)  # no case may match
+            return after
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.elements.append(stmt)
+            self.cfg.edge(current, self._exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if loops:
+                cfg.edge(current, loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if loops:
+                cfg.edge(current, loops[-1][0])
+            return None
+        # Simple statements (and opaque nested def/class) stay in-block.
+        current.elements.append(stmt)
+        return current
+
+
+def build_cfg(func: ast.FunctionDef) -> CFG:
+    """The control-flow graph of one function definition's body."""
+    return _Builder().build(func.body)

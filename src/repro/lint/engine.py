@@ -16,8 +16,10 @@ Entry points:
 from __future__ import annotations
 
 import ast
+import io
 import re
 import subprocess
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
@@ -35,28 +37,59 @@ class LintError(ReproError):
 
 
 @dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One hop of a dataflow trace (source → propagation → sink)."""
+
+    path: str
+    line: int
+    note: str
+
+
+@dataclass(frozen=True, slots=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``end_line`` is the last line of the offending statement (0 when
+    unknown); a ``# repro: noqa`` anywhere on the statement's lines
+    suppresses the finding, so multi-line statements can carry the
+    comment on any of their physical lines.  ``trace`` carries the
+    flow-sensitive evidence chain for dataflow rules (D11x/K4xx).
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    end_line: int = 0
+    trace: tuple[TraceStep, ...] = ()
 
     def render(self) -> str:
         """The one-line human-readable form."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
+    def render_trace(self) -> str:
+        """The multi-line form: the finding plus its evidence chain."""
+        lines = [self.render()]
+        for step in self.trace:
+            lines.append(f"    {step.path}:{step.line}: {step.note}")
+        return "\n".join(lines)
+
     def to_dict(self) -> dict[str, object]:
         """The machine-readable (``--format=json``) form."""
-        return {
+        payload: dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
         }
+        if self.trace:
+            payload["trace"] = [
+                {"path": s.path, "line": s.line, "note": s.note}
+                for s in self.trace
+            ]
+        return payload
 
 
 @dataclass(slots=True)
@@ -75,6 +108,13 @@ class ClassInfo:
     #: a slots dataclass); False when ``__slots__`` exists but could not
     #: be parsed statically.
     slots_exact: bool
+    #: Dataclass-style annotated fields: name -> resolved annotation
+    #: dotted name (None when the annotation is not a plain name chain).
+    #: Empty for classes with no annotated assignments.
+    fields: dict[str, Optional[str]] = field(default_factory=dict)
+    #: The class definition node (for whole-project passes that need to
+    #: inspect method bodies, e.g. the K4xx cache-key analysis).
+    node: Optional[ast.ClassDef] = None
 
     @property
     def qualified(self) -> str:
@@ -94,6 +134,9 @@ class ModuleInfo:
     classes: dict[str, ClassInfo] = field(default_factory=dict)
     #: Qualified names of every function/method defined in the module.
     functions: set[str] = field(default_factory=set)
+    #: Qualified name -> definition node for every function/method (the
+    #: call-summary substrate of the flow analyses).
+    function_nodes: dict[str, ast.FunctionDef] = field(default_factory=dict)
 
 
 class ProjectIndex:
@@ -257,6 +300,40 @@ def _dataclass_field_names(node: ast.ClassDef) -> tuple[str, ...]:
     return tuple(names)
 
 
+def _annotated_fields(
+    node: ast.ClassDef, module: ModuleInfo
+) -> dict[str, Optional[str]]:
+    """Annotated class-body assignments: name -> resolved annotation.
+
+    ``ClassVar`` annotations are skipped — they are class constants, not
+    dataclass fields, so the K4xx field walk must not count them.
+    """
+    fields: dict[str, Optional[str]] = {}
+    for statement in node.body:
+        if not (
+            isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+        ):
+            continue
+        annotation = statement.annotation
+        dotted = _dotted(annotation)
+        if dotted is not None and dotted.rsplit(".", 1)[-1] == "ClassVar":
+            continue
+        if (
+            isinstance(annotation, ast.Subscript)
+            and (_dotted(annotation.value) or "").rsplit(".", 1)[-1]
+            == "ClassVar"
+        ):
+            continue
+        resolved = (
+            resolve_dotted(module, annotation)
+            if isinstance(annotation, (ast.Name, ast.Attribute))
+            else None
+        )
+        fields[statement.target.id] = resolved
+    return fields
+
+
 def _collect_classes(module: ModuleInfo) -> None:
     """Record every class (and function qualname) defined in the module."""
 
@@ -297,10 +374,15 @@ def _collect_classes(module: ModuleInfo) -> None:
                     bases=tuple(bases),
                     slots=slots,
                     slots_exact=exact,
+                    fields=_annotated_fields(node, module),
+                    node=node,
                 )
                 visit(node.body, f"{qualname}.")
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                module.functions.add(f"{module.module}.{prefix}{node.name}")
+                qualified = f"{module.module}.{prefix}{node.name}"
+                module.functions.add(qualified)
+                if isinstance(node, ast.FunctionDef):
+                    module.function_nodes[qualified] = node
                 visit(node.body, f"{prefix}{node.name}.")
 
     visit(module.tree.body, "")
@@ -323,36 +405,93 @@ _NOQA_FILE = re.compile(
 
 @dataclass(slots=True)
 class Suppressions:
-    """Parsed ``# repro: noqa`` state for one file."""
+    """Parsed ``# repro: noqa`` state for one file.
+
+    ``suppressed`` records which comments actually matched a finding, so
+    the engine can report stale suppressions afterwards (rule W001,
+    ``--show-unused-noqa``).
+    """
 
     #: line -> None (blanket) or set of rule ids.
     lines: dict[int, Optional[frozenset[str]]]
-    #: Rule ids suppressed for the whole file.
-    file_rules: frozenset[str]
+    #: Rule id suppressed for the whole file -> lineno of its comment.
+    file_rules: dict[str, int]
+    #: Keys of comments that matched at least one finding: line numbers
+    #: for line comments, ``("file", rule)`` for file-level ones.
+    used: set[object] = field(default_factory=set)
 
     def suppressed(self, finding: Finding) -> bool:
         if finding.rule in self.file_rules:
+            self.used.add(("file", finding.rule))
             return True
-        if finding.line in self.lines:
-            rules = self.lines[finding.line]
-            return rules is None or finding.rule in rules
+        last = max(finding.line, finding.end_line or 0)
+        for lineno in range(finding.line, last + 1):
+            rules = self.lines.get(lineno, _NO_ENTRY)
+            if rules is _NO_ENTRY:
+                continue
+            if rules is None or finding.rule in rules:  # type: ignore[operator]
+                self.used.add(lineno)
+                return True
         return False
+
+    def unused(self) -> list[tuple[int, str]]:
+        """``(lineno, description)`` for comments that matched nothing."""
+        stale: list[tuple[int, str]] = []
+        for lineno in self.lines:
+            if lineno in self.used:
+                continue
+            rules = self.lines[lineno]
+            description = (
+                "blanket `# repro: noqa`"
+                if rules is None
+                else f"`# repro: noqa[{','.join(sorted(rules))}]`"
+            )
+            stale.append((lineno, description))
+        for rule, lineno in self.file_rules.items():
+            if ("file", rule) not in self.used:
+                stale.append((lineno, f"`# repro: noqa-file[{rule}]`"))
+        stale.sort()
+        return stale
+
+
+#: Sentinel distinguishing "no noqa on this line" from a blanket (None).
+_NO_ENTRY: object = object()
+
+
+def _comment_lines(source: str) -> list[tuple[int, str]]:
+    """``(lineno, comment_text)`` for every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps the marker
+    inert inside string literals and docstrings — documentation *about*
+    ``# repro: noqa`` must neither suppress anything nor show up as a
+    stale suppression under W001.
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError, ValueError):
+        # Unparseable file (E999 territory): fall back to raw lines so a
+        # noqa near the damage still behaves predictably.
+        return [
+            (lineno, text)
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "#" in text
+        ]
 
 
 def parse_suppressions(source: str) -> Suppressions:
     """Scan a file's comments for line and file-level suppressions."""
     lines: dict[int, Optional[frozenset[str]]] = {}
-    file_rules: set[str] = set()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        if "#" not in text:
-            continue
+    file_rules: dict[str, int] = {}
+    for lineno, text in _comment_lines(source):
         file_match = _NOQA_FILE.search(text)
         if file_match is not None:
-            file_rules.update(
-                rule.strip()
-                for rule in file_match.group("rules").split(",")
-                if rule.strip()
-            )
+            for rule in file_match.group("rules").split(","):
+                if rule.strip():
+                    file_rules.setdefault(rule.strip(), lineno)
             continue
         match = _NOQA_LINE.search(text)
         if match is None:
@@ -368,7 +507,7 @@ def parse_suppressions(source: str) -> Suppressions:
             lines[lineno] = (
                 rules if previous is None else frozenset(previous | rules)
             )
-    return Suppressions(lines=lines, file_rules=frozenset(file_rules))
+    return Suppressions(lines=lines, file_rules=file_rules)
 
 
 # ----------------------------------------------------------------------
@@ -411,8 +550,15 @@ def module_name_for(path: Path) -> str:
     return ".".join(parts) if parts else path.stem
 
 
-def discover_files(paths: Sequence[Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+def discover_files(
+    paths: Sequence[Path], exclude: Sequence[Path] = ()
+) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    ``exclude`` prunes whole subtrees (or single files) from the result —
+    the CI lint job uses it to keep the deliberately-broken lint
+    fixtures out of a ``tests/`` sweep.
+    """
     files: set[Path] = set()
     for path in paths:
         if path.is_dir():
@@ -421,6 +567,16 @@ def discover_files(paths: Sequence[Path]) -> list[Path]:
             files.add(path)
         elif not path.exists():
             raise LintError(f"no such file or directory: {path}")
+    if exclude:
+        roots = [e.resolve() for e in exclude]
+        files = {
+            f
+            for f in files
+            if not any(
+                f.resolve() == root or root in f.resolve().parents
+                for root in roots
+            )
+        }
     return sorted(files)
 
 
@@ -432,7 +588,9 @@ def changed_files(paths: Sequence[Path]) -> list[Path]:
     """
     try:
         output = subprocess.run(
-            ["git", "status", "--porcelain"],
+            # -uall: list files inside untracked directories (the default
+            # collapses them to "pkg/", which hides the .py files).
+            ["git", "status", "--porcelain", "--untracked-files=all"],
             capture_output=True,
             text=True,
             check=True,
@@ -468,8 +626,11 @@ def lint_sources(
     hot_classes: Optional[frozenset[str]] = None,
     hot_functions: Optional[frozenset[str]] = None,
     batch_functions: Optional[frozenset[str]] = None,
+    show_unused_noqa: bool = False,
 ) -> list[Finding]:
     """Lint in-memory sources: ``{module: (display_path, source)}``."""
+    from repro.lint.flow import check_flow
+    from repro.lint.keys import check_keys
     from repro.lint.rules import check_manifest, check_module
 
     select_rules = _parse_rule_list(select)
@@ -500,17 +661,45 @@ def lint_sources(
         infos.append(info)
         index.add_module(info)
 
+    raw: list[Finding] = []
     for info in infos:
-        raw = check_module(
-            info, index, hot_classes, hot_functions, batch_functions
+        raw.extend(
+            check_module(
+                info, index, hot_classes, hot_functions, batch_functions
+            )
         )
-        suppressions = parse_suppressions(info.source)
-        findings.extend(f for f in raw if not suppressions.suppressed(f))
     # Batch functions are (by construction) also hot functions, but the
     # union keeps H200 honest for custom manifests where they diverge.
-    findings.extend(
+    raw.extend(
         check_manifest(index, hot_classes, hot_functions | batch_functions)
     )
+    # Whole-project dataflow passes: determinism taint (D11x) and
+    # cache-key soundness (K4xx) both need the complete index.
+    raw.extend(check_flow(index))
+    raw.extend(check_keys(index))
+
+    # Apply suppressions uniformly, by finding path, then report stale
+    # comments (W001) — those never self-suppress.
+    suppressions = {info.path: parse_suppressions(info.source) for info in infos}
+    for finding in raw:
+        file_suppressions = suppressions.get(finding.path)
+        if file_suppressions is None or not file_suppressions.suppressed(
+            finding
+        ):
+            findings.append(finding)
+    if show_unused_noqa:
+        for info in infos:
+            for lineno, description in suppressions[info.path].unused():
+                findings.append(
+                    Finding(
+                        rule="W001",
+                        path=info.path,
+                        line=lineno,
+                        col=1,
+                        message=f"unused suppression {description}: no "
+                        "finding matches it any more; delete the comment",
+                    )
+                )
 
     findings = [
         f
@@ -526,9 +715,25 @@ def lint_paths(
     select: Optional[str] = None,
     ignore: Optional[str] = None,
     changed_only: bool = False,
+    exclude: Sequence[Path] = (),
+    show_unused_noqa: bool = False,
 ) -> list[Finding]:
     """Lint files or trees on disk; the ``profess lint`` entry point."""
-    files = changed_files(paths) if changed_only else discover_files(paths)
+    files = (
+        changed_files(paths)
+        if changed_only
+        else discover_files(paths, exclude=exclude)
+    )
+    if changed_only and exclude:
+        roots = [e.resolve() for e in exclude]
+        files = [
+            f
+            for f in files
+            if not any(
+                f.resolve() == root or root in f.resolve().parents
+                for root in roots
+            )
+        ]
     sources: dict[str, tuple[str, str]] = {}
     for file in files:
         module = module_name_for(file)
@@ -536,4 +741,89 @@ def lint_paths(
         # conftest) get disambiguated by path so neither is dropped.
         key = module if module not in sources else f"{module}:{file}"
         sources[key] = (str(file), file.read_text(encoding="utf-8"))
-    return lint_sources(sources, select=select, ignore=ignore)
+    return lint_sources(
+        sources,
+        select=select,
+        ignore=ignore,
+        show_unused_noqa=show_unused_noqa,
+    )
+
+
+# ----------------------------------------------------------------------
+# SARIF (GitHub code scanning) rendering
+# ----------------------------------------------------------------------
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_location(path: str, line: int, col: int) -> dict[str, object]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": line, "startColumn": max(col, 1)},
+        }
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> dict[str, object]:
+    """SARIF 2.1.0 payload for ``profess lint --format sarif``.
+
+    Dataflow traces render as SARIF code flows, so GitHub code scanning
+    shows the full source→sink chain inline.
+    """
+    from repro.lint.rules import RULES
+
+    results: list[dict[str, object]] = []
+    for finding in findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                _sarif_location(finding.path, finding.line, finding.col)
+            ],
+        }
+        if finding.trace:
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": {
+                                        **_sarif_location(
+                                            step.path, step.line, 1
+                                        ),
+                                        "message": {"text": step.note},
+                                    }
+                                }
+                                for step in finding.trace
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
+    return {
+        "version": "2.1.0",
+        "$schema": _SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "profess-lint",
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {"text": description},
+                            }
+                            for rule, description in sorted(RULES.items())
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

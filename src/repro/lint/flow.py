@@ -1,0 +1,984 @@
+"""Flow-sensitive determinism taint analysis (rules D110/D111/D112).
+
+Layered on :mod:`repro.lint.cfg`'s per-function control-flow graphs,
+this module provides the generic :class:`ForwardDataflow` worklist
+framework plus its main client: a taint analysis that tracks
+nondeterministic values (wall clocks, unseeded RNG, environment,
+``id()``, set-iteration order) through assignments, augmented ops,
+returns, and one level of intra-package calls, and reports when such a
+value reaches simulation state.  The syntactic D1xx rules flag the
+*call sites* of forbidden APIs; these rules flag the *dataflow* the
+call sites feed — aliased handles, helper-routed values, order-tainted
+containers — with a full source→sink trace on every finding.
+
+Rules:
+
+* **D110** — a value derived from a nondeterministic source reaches
+  simulation state (attribute/subscript store, or a mutator call on an
+  attribute receiver) within the function that produced it.
+* **D111** — a nondeterministic callable is aliased into a local name
+  (or a module alias) and invoked in a simulation module; the direct
+  call spelling stays D103's job.
+* **D112** — the taint crossed a call boundary (helper return value or
+  parameter flow-through, via cross-file call summaries) before
+  reaching the sink.
+
+The taint lattice, source/sink catalogue, and termination argument are
+documented in DESIGN.md §16.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.lint.cfg import CFG, Element, build_cfg
+from repro.lint.engine import (
+    Finding,
+    ModuleInfo,
+    ProjectIndex,
+    TraceStep,
+    resolve_dotted,
+)
+from repro.lint.rules import RNG_MODULE, _CLOCK_CALLS, _in_sim_scope
+
+# ----------------------------------------------------------------------
+# Generic forward-dataflow framework
+# ----------------------------------------------------------------------
+
+#: Safety valve: a block may be re-processed at most this many times
+#: before the analysis gives up on the function (soundness over hangs).
+_MAX_BLOCK_VISITS = 64
+
+
+class ForwardDataflow:
+    """Worklist iteration to fixpoint over a :class:`~repro.lint.cfg.CFG`.
+
+    Subclasses provide the lattice: :meth:`initial` (entry state),
+    :meth:`copy`, :meth:`join` (may-union of predecessor out-states),
+    :meth:`equal` (fixpoint test), and :meth:`transfer` (the gen/kill
+    effect of one CFG element, mutating the state in place).
+    """
+
+    def initial(self) -> dict[str, object]:
+        raise NotImplementedError
+
+    def copy(self, state: dict[str, object]) -> dict[str, object]:
+        raise NotImplementedError
+
+    def join(
+        self, into: dict[str, object], other: dict[str, object]
+    ) -> dict[str, object]:
+        raise NotImplementedError
+
+    def equal(self, a: dict[str, object], b: dict[str, object]) -> bool:
+        raise NotImplementedError
+
+    def transfer(self, element: Element, state: dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def run(self, cfg: CFG) -> dict[int, dict[str, object]]:
+        """Iterate to fixpoint; returns the in-state of each visited block."""
+        in_states: dict[int, dict[str, object]] = {cfg.entry: self.initial()}
+        work: deque[int] = deque([cfg.entry])
+        visits: dict[int, int] = {}
+        while work:
+            index = work.popleft()
+            visits[index] = visits.get(index, 0) + 1
+            if visits[index] > _MAX_BLOCK_VISITS:
+                continue
+            state = self.copy(in_states[index])
+            for element in cfg.blocks[index].elements:
+                self.transfer(element, state)
+            for succ in cfg.blocks[index].succs:
+                existing = in_states.get(succ)
+                if existing is None:
+                    in_states[succ] = self.copy(state)
+                    work.append(succ)
+                else:
+                    joined = self.join(existing, state)
+                    if not self.equal(joined, existing):
+                        in_states[succ] = joined
+                        work.append(succ)
+        return in_states
+
+
+# ----------------------------------------------------------------------
+# Taint lattice
+# ----------------------------------------------------------------------
+
+#: Trace length cap: enough to read, bounded so loops cannot grow them.
+_MAX_STEPS = 8
+
+#: Kind priority when merging (lower wins): a concrete nondeterministic
+#: value beats an order hazard beats a parameter flow beats a set object
+#: beats an un-invoked callable reference.
+_KIND_RANK = {"value": 0, "order": 1, "param": 2, "set": 3, "callable": 4}
+
+
+@dataclass(frozen=True, slots=True)
+class Taint:
+    """One taint tag: where nondeterminism entered, and how it travelled.
+
+    ``kind``:
+
+    * ``value`` — a concrete nondeterministic value (clock read, RNG
+      draw, environment lookup, ``id()``);
+    * ``order`` — a deterministic set of values in nondeterministic
+      order (materialized set iteration);
+    * ``callable`` — a reference to a nondeterministic callable that has
+      not been invoked yet (``clock = time.time``);
+    * ``set`` — a set object (iterating it mints ``order`` taint);
+    * ``param`` — summary-collection marker: the value of parameter
+      ``param`` (pass 1 only, never reported).
+
+    ``steps`` is presentation-only: :meth:`key` ignores it, so the
+    fixpoint compares taint *identity* and loops terminate even though
+    traces grow while a tag propagates.
+    """
+
+    kind: str
+    source: str
+    path: str
+    line: int
+    crossed: bool = False
+    param: int = -1
+    steps: tuple[TraceStep, ...] = ()
+
+    def key(self) -> tuple[str, str, str, int, bool, int]:
+        return (
+            self.kind,
+            self.source,
+            self.path,
+            self.line,
+            self.crossed,
+            self.param,
+        )
+
+    def with_step(self, path: str, line: int, note: str) -> "Taint":
+        if len(self.steps) >= _MAX_STEPS:
+            return self
+        return replace(self, steps=self.steps + (TraceStep(path, line, note),))
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionSummary:
+    """What a call to this function does to taint (one level deep).
+
+    ``returns`` is the taint of the return value when the function
+    itself mints nondeterminism; ``param_flows`` lists parameter indices
+    (``self`` excluded for methods) whose taint flows to the return
+    value unchanged.
+    """
+
+    returns: Optional[Taint] = None
+    param_flows: frozenset[int] = frozenset()
+
+
+# ----------------------------------------------------------------------
+# Source / sink catalogue
+# ----------------------------------------------------------------------
+_SOURCE_PREFIXES = (
+    "random.",
+    "numpy.random.",
+    "np.random.",
+    "secrets.",
+    "os.environ.",
+)
+_SOURCE_EXACT = frozenset(
+    {
+        "id",
+        "os.urandom",
+        "os.getrandom",
+        "os.getenv",
+        "os.environ",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+) | frozenset(_CLOCK_CALLS)
+#: Module objects whose attribute lookups yield nondeterministic callables.
+_MODULE_SOURCES = frozenset({"random", "numpy.random", "np.random", "secrets"})
+#: Builtins that erase iteration-order taint (but never entropy taint).
+_ORDER_NEUTRAL = frozenset({"sorted", "len", "min", "max", "sum"})
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+#: Constructors that materialize their argument's iteration order.
+_SEQ_CONSTRUCTORS = frozenset({"list", "tuple"})
+#: Mutator methods that count as state-sinks on attribute receivers.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "extend",
+        "insert",
+        "setdefault",
+        "update",
+        "push",
+        "schedule",
+        "schedule_now",
+    }
+)
+
+
+def _is_source(resolved: str) -> bool:
+    return resolved in _SOURCE_EXACT or any(
+        resolved.startswith(prefix) for prefix in _SOURCE_PREFIXES
+    )
+
+
+# ----------------------------------------------------------------------
+# The taint analysis
+# ----------------------------------------------------------------------
+class _TaintAnalysis(ForwardDataflow):
+    """One function's taint pass.
+
+    Pass 1 (``collect=True``) seeds parameters with ``param`` taint and
+    records return-value taint into a :class:`FunctionSummary`; it never
+    reports.  Pass 2 consults the pass-1 summaries (exactly one level of
+    inter-procedural propagation) and reports sinks.
+    """
+
+    def __init__(
+        self,
+        info: ModuleInfo,
+        index: ProjectIndex,
+        qualname: str,
+        func: ast.FunctionDef,
+        summaries: Optional[dict[str, FunctionSummary]],
+        collect: bool,
+    ) -> None:
+        self.info = info
+        self.index = index
+        self.qualname = qualname
+        self.func = func
+        self.summaries = summaries or {}
+        self.collect = collect
+        self.sim = _in_sim_scope(info.module)
+        self.findings: list[Finding] = []
+        self.return_taints: list[Taint] = []
+        self._emitted: set[tuple[str, int, int, str]] = set()
+        self.assigned = self._assigned_names()
+        # Method context: the enclosing class's qualname, if any, so
+        # ``self.helper()`` resolves to a project summary.
+        local = qualname[len(info.module) + 1 :]
+        self.class_prefix: Optional[str] = None
+        if "." in local:
+            prefix = local.rsplit(".", 1)[0]
+            if prefix in info.classes:
+                self.class_prefix = prefix
+
+    # -- setup ---------------------------------------------------------
+    def _assigned_names(self) -> frozenset[str]:
+        """Every name the function binds (kills global resolution)."""
+        names: set[str] = set()
+        args = self.func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            names.add(arg.arg)
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+        for node in ast.walk(self.func):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+            elif (
+                isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+                and node is not self.func
+            ):
+                names.add(node.name)
+        return frozenset(names)
+
+    def _call_params(self) -> list[str]:
+        """Positional parameter names as a *caller* counts them."""
+        args = self.func.args
+        params = [arg.arg for arg in args.posonlyargs + args.args]
+        if (
+            self.class_prefix is not None
+            and params
+            and params[0] in ("self", "cls")
+        ):
+            params = params[1:]
+        return params
+
+    # -- lattice -------------------------------------------------------
+    def initial(self) -> dict[str, Taint]:  # type: ignore[override]
+        state: dict[str, Taint] = {}
+        if self.collect:
+            for position, name in enumerate(self._call_params()):
+                state[name] = Taint(
+                    kind="param",
+                    source=f"parameter {name!r}",
+                    path=self.info.path,
+                    line=self.func.lineno,
+                    param=position,
+                )
+        return state
+
+    def copy(self, state: dict[str, Taint]) -> dict[str, Taint]:  # type: ignore[override]
+        return dict(state)
+
+    def join(  # type: ignore[override]
+        self, into: dict[str, Taint], other: dict[str, Taint]
+    ) -> dict[str, Taint]:
+        joined = dict(into)
+        for name, taint in other.items():
+            existing = joined.get(name)
+            if existing is None:
+                joined[name] = taint
+            elif taint.key() != existing.key() and self._rank(
+                taint
+            ) < self._rank(existing):
+                joined[name] = taint
+        return joined
+
+    @staticmethod
+    def _rank(taint: Taint) -> tuple[int, str, str, int, bool, int]:
+        return (_KIND_RANK.get(taint.kind, 9),) + taint.key()[1:]  # type: ignore[return-value]
+
+    def equal(  # type: ignore[override]
+        self, a: dict[str, Taint], b: dict[str, Taint]
+    ) -> bool:
+        if a.keys() != b.keys():
+            return False
+        return all(a[name].key() == b[name].key() for name in a)
+
+    @staticmethod
+    def _merge(*taints: Optional[Taint]) -> Optional[Taint]:
+        """The dominant taint of a multi-operand expression."""
+        best: Optional[Taint] = None
+        for taint in taints:
+            if taint is None:
+                continue
+            if best is None or _TaintAnalysis._rank(
+                taint
+            ) < _TaintAnalysis._rank(best):
+                best = taint
+        return best
+
+    # -- transfer ------------------------------------------------------
+    def transfer(self, element: Element, state: dict[str, Taint]) -> None:  # type: ignore[override]
+        if isinstance(element, ast.Assign):
+            value = self._expr(element.value, state)
+            for target in element.targets:
+                self._bind(target, element.value, value, state, element)
+        elif isinstance(element, ast.AnnAssign):
+            if element.value is not None:
+                value = self._expr(element.value, state)
+                self._bind(element.target, element.value, value, state, element)
+        elif isinstance(element, ast.AugAssign):
+            value = self._expr(element.value, state)
+            if isinstance(element.target, ast.Name):
+                taint = self._merge(value, state.get(element.target.id))
+                if taint is not None:
+                    self._bind_name(element.target.id, taint, state, element)
+            elif value is not None:
+                self._store_sink(element.target, value, element)
+        elif isinstance(element, ast.Return):
+            if element.value is not None:
+                taint = self._expr(element.value, state)
+                if taint is not None and self.collect:
+                    self.return_taints.append(taint)
+        elif isinstance(element, ast.Raise):
+            self._expr(element.exc, state)
+            self._expr(element.cause, state)
+        elif isinstance(element, ast.Assert):
+            self._expr(element.test, state)
+            self._expr(element.msg, state)
+        elif isinstance(element, ast.Expr):
+            self._expr(element.value, state)
+        elif isinstance(element, ast.Delete):
+            for target in element.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+        elif isinstance(element, (ast.For, ast.AsyncFor)):
+            iter_taint = self._expr(element.iter, state)
+            bind: Optional[Taint] = None
+            if iter_taint is not None:
+                if iter_taint.kind == "set":
+                    bind = Taint(
+                        kind="order",
+                        source=f"iteration order of {iter_taint.source}",
+                        path=self.info.path,
+                        line=element.lineno,
+                        crossed=iter_taint.crossed,
+                        steps=iter_taint.steps
+                        + (
+                            TraceStep(
+                                self.info.path,
+                                element.lineno,
+                                "iterated here: element order is "
+                                "nondeterministic",
+                            ),
+                        ),
+                    )
+                elif iter_taint.kind in ("value", "order", "param"):
+                    bind = iter_taint
+            self._bind(element.target, None, bind, state, element)
+        elif isinstance(element, (ast.With, ast.AsyncWith)):
+            for item in element.items:
+                taint = self._expr(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, None, taint, state, element)
+        elif isinstance(
+            element, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            state.pop(element.name, None)
+        elif isinstance(element, ast.expr):
+            self._expr(element, state)
+        # Import/Global/Nonlocal/Pass: no taint effect.
+
+    # -- binding -------------------------------------------------------
+    def _bind(
+        self,
+        target: ast.expr,
+        value_expr: Optional[ast.expr],
+        taint: Optional[Taint],
+        state: dict[str, Taint],
+        stmt: ast.stmt,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._bind_name(target.id, taint, state, stmt)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, None, taint, state, stmt)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value_expr, (ast.Tuple, ast.List)) and len(
+                value_expr.elts
+            ) == len(target.elts):
+                for element, source in zip(target.elts, value_expr.elts):
+                    self._bind(
+                        element, source, self._expr(source, state), state, stmt
+                    )
+            else:
+                for element in target.elts:
+                    self._bind(element, None, taint, state, stmt)
+        elif isinstance(target, ast.Subscript):
+            slice_taint = self._expr(target.slice, state)
+            sink = self._merge(taint, slice_taint)
+            if sink is not None:
+                self._store_sink(target, sink, stmt)
+        elif isinstance(target, ast.Attribute):
+            if taint is not None:
+                self._store_sink(target, taint, stmt)
+
+    def _bind_name(
+        self,
+        name: str,
+        taint: Optional[Taint],
+        state: dict[str, Taint],
+        stmt: ast.stmt,
+    ) -> None:
+        if taint is None:
+            state.pop(name, None)
+            return
+        existing = state.get(name)
+        if existing is not None and existing.key() == taint.key():
+            return  # identical tag: keep the established trace
+        note = (
+            f"aliased as {name!r}"
+            if taint.kind == "callable"
+            else f"assigned to {name!r}"
+        )
+        state[name] = taint.with_step(self.info.path, stmt.lineno, note)
+
+    # -- expression evaluation -----------------------------------------
+    def _expr(
+        self, node: Optional[ast.expr], state: dict[str, Taint]
+    ) -> Optional[Taint]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            taint = state.get(node.id)
+            if taint is not None:
+                return taint
+            if node.id in self.assigned:
+                return None
+            resolved = resolve_dotted(self.info, node)
+            return self._global_taint(resolved, node)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name):
+                base = state.get(node.value.id)
+                if base is not None:
+                    return base  # attribute of a tainted value/module alias
+                if node.value.id in self.assigned:
+                    return None
+                resolved = resolve_dotted(self.info, node)
+                return self._global_taint(resolved, node)
+            return self._expr(node.value, state)
+        if isinstance(node, ast.Call):
+            return self._call(node, state)
+        if isinstance(node, ast.BinOp):
+            return self._merge(
+                self._expr(node.left, state), self._expr(node.right, state)
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._expr(node.operand, state)
+        if isinstance(node, ast.BoolOp):
+            return self._merge(*(self._expr(v, state) for v in node.values))
+        if isinstance(node, ast.Compare):
+            return self._merge(
+                self._expr(node.left, state),
+                *(self._expr(c, state) for c in node.comparators),
+            )
+        if isinstance(node, ast.IfExp):
+            self._expr(node.test, state)
+            return self._merge(
+                self._expr(node.body, state), self._expr(node.orelse, state)
+            )
+        if isinstance(node, ast.Subscript):
+            base = self._expr(node.value, state)
+            index = self._expr(node.slice, state)
+            if base is not None and base.kind == "callable":
+                base = replace(base, kind="value")  # e.g. os.environ["X"]
+            return self._merge(base, index)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return self._merge(*(self._expr(e, state) for e in node.elts))
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            inner: Optional[Taint]
+            if isinstance(node, ast.Set):
+                inner = self._merge(*(self._expr(e, state) for e in node.elts))
+            else:
+                inner = self._merge(
+                    *(self._expr(g.iter, state) for g in node.generators)
+                )
+            if inner is not None and inner.kind in ("value", "param"):
+                return inner  # entropy taint dominates order hazards
+            return Taint(
+                kind="set",
+                source="set display",
+                path=self.info.path,
+                line=node.lineno,
+                steps=(
+                    TraceStep(self.info.path, node.lineno, "set built here"),
+                ),
+            )
+        if isinstance(node, ast.Dict):
+            return self._merge(
+                *(self._expr(k, state) for k in node.keys if k is not None),
+                *(self._expr(v, state) for v in node.values),
+            )
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                iter_taint = self._expr(generator.iter, state)
+                if iter_taint is None:
+                    continue
+                if iter_taint.kind == "set":
+                    return Taint(
+                        kind="order",
+                        source=f"iteration order of {iter_taint.source}",
+                        path=self.info.path,
+                        line=node.lineno,
+                        crossed=iter_taint.crossed,
+                        steps=iter_taint.steps
+                        + (
+                            TraceStep(
+                                self.info.path,
+                                node.lineno,
+                                "comprehension iterates it here",
+                            ),
+                        ),
+                    )
+                if iter_taint.kind in ("value", "order", "param"):
+                    return iter_taint
+            return None
+        if isinstance(node, ast.Starred):
+            return self._expr(node.value, state)
+        if isinstance(node, ast.Await):
+            return self._expr(node.value, state)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return self._expr(node.value, state)
+        if isinstance(node, ast.NamedExpr):
+            taint = self._expr(node.value, state)
+            self._bind_name(node.target.id, taint, state, _stmt_of(node))
+            return taint
+        if isinstance(node, ast.JoinedStr):
+            return self._merge(*(self._expr(v, state) for v in node.values))
+        if isinstance(node, ast.FormattedValue):
+            return self._expr(node.value, state)
+        return None  # Constant, Lambda, Slice defaults, ...
+
+    def _global_taint(
+        self, resolved: Optional[str], node: ast.expr
+    ) -> Optional[Taint]:
+        """Taint of a bare global reference (not a call)."""
+        if resolved is None:
+            return None
+        if _is_source(resolved) or resolved in _MODULE_SOURCES:
+            source = (
+                f"{resolved}.*" if resolved in _MODULE_SOURCES else resolved
+            )
+            return Taint(
+                kind="callable",
+                source=source,
+                path=self.info.path,
+                line=node.lineno,
+                steps=(
+                    TraceStep(
+                        self.info.path,
+                        node.lineno,
+                        f"references nondeterministic source {source}",
+                    ),
+                ),
+            )
+        return None
+
+    # -- calls ---------------------------------------------------------
+    def _call(self, node: ast.Call, state: dict[str, Taint]) -> Optional[Taint]:
+        arg_taints = [self._expr(arg, state) for arg in node.args]
+        keyword_taints = [
+            self._expr(keyword.value, state) for keyword in node.keywords
+        ]
+        func = node.func
+
+        # D111: invocation through a taint-carrying alias.
+        alias: Optional[Taint] = None
+        if isinstance(func, ast.Name):
+            alias = state.get(func.id)
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            alias = state.get(func.value.id)
+        if alias is not None:
+            if alias.kind == "callable":
+                self._alias_call(func, alias, node)
+                return Taint(
+                    kind="value",
+                    source=alias.source,
+                    path=alias.path,
+                    line=alias.line,
+                    crossed=alias.crossed,
+                    steps=alias.steps
+                    + (
+                        TraceStep(
+                            self.info.path,
+                            node.lineno,
+                            f"aliased {alias.source} invoked here",
+                        ),
+                    ),
+                )
+            if alias.kind in ("value", "order", "param"):
+                # Calling a method on a tainted value: result is tainted.
+                return alias
+
+        resolved: Optional[str] = None
+        if isinstance(func, (ast.Name, ast.Attribute)):
+            head: ast.expr = func
+            while isinstance(head, ast.Attribute):
+                head = head.value
+            head_id = head.id if isinstance(head, ast.Name) else None
+            if head_id is not None and head_id in ("self", "cls"):
+                resolved = None  # handled via the method-summary path
+            elif head_id is None or head_id not in self.assigned:
+                resolved = resolve_dotted(self.info, func)
+
+        if resolved is not None:
+            tail = resolved.rsplit(".", 1)[-1]
+            if resolved in _ORDER_NEUTRAL:
+                return self._merge(
+                    *(
+                        taint
+                        for taint in arg_taints + keyword_taints
+                        if taint is not None
+                        and taint.kind in ("value", "param")
+                    )
+                )
+            if resolved in _SET_CONSTRUCTORS:
+                inner = self._merge(*arg_taints)
+                if inner is not None and inner.kind in ("value", "param"):
+                    return inner
+                return Taint(
+                    kind="set",
+                    source=f"{resolved}() contents",
+                    path=self.info.path,
+                    line=node.lineno,
+                    steps=(
+                        TraceStep(
+                            self.info.path,
+                            node.lineno,
+                            f"{resolved} built here",
+                        ),
+                    ),
+                )
+            if resolved in _SEQ_CONSTRUCTORS:
+                inner = self._merge(*arg_taints)
+                if inner is None:
+                    return None
+                if inner.kind == "set":
+                    return Taint(
+                        kind="order",
+                        source=f"iteration order of {inner.source}",
+                        path=self.info.path,
+                        line=node.lineno,
+                        crossed=inner.crossed,
+                        steps=inner.steps
+                        + (
+                            TraceStep(
+                                self.info.path,
+                                node.lineno,
+                                f"materialized by {resolved}() in arbitrary "
+                                "set order",
+                            ),
+                        ),
+                    )
+                return inner
+            if _is_source(resolved):
+                return Taint(
+                    kind="value",
+                    source=f"{resolved}()",
+                    path=self.info.path,
+                    line=node.lineno,
+                    steps=(
+                        TraceStep(
+                            self.info.path,
+                            node.lineno,
+                            f"source: call to {resolved}()",
+                        ),
+                    ),
+                )
+            if not self.collect:
+                candidates = (
+                    [resolved]
+                    if "." in resolved
+                    else [f"{self.info.module}.{resolved}"]
+                )
+                for qualified in candidates:
+                    found, result = self._summary_call(
+                        qualified, tail, node, arg_taints
+                    )
+                    if found:
+                        return result
+
+        # self.helper(...) → the enclosing class's summary.
+        if (
+            not self.collect
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and self.class_prefix is not None
+        ):
+            qualified = (
+                f"{self.info.module}.{self.class_prefix}.{func.attr}"
+            )
+            found, result = self._summary_call(
+                qualified, func.attr, node, arg_taints
+            )
+            if found:
+                return result
+
+        # Mutator-method sink: self.queue.push(tainted), stats.update(...).
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATORS
+            and isinstance(func.value, ast.Attribute)
+        ):
+            tainted_arg = self._merge(
+                *(
+                    taint
+                    for taint in arg_taints + keyword_taints
+                    if taint is not None and taint.kind in ("value", "order")
+                )
+            )
+            if tainted_arg is not None:
+                self._mutator_sink(func, tainted_arg, node)
+
+        # Unknown callee: a tainted argument conservatively taints the
+        # result (str(clock), round(jitter, 3), ...).
+        return self._merge(
+            *(
+                taint
+                for taint in arg_taints + keyword_taints
+                if taint is not None
+                and taint.kind in ("value", "order", "param")
+            )
+        )
+
+    def _summary_call(
+        self,
+        qualified: str,
+        name: str,
+        node: ast.Call,
+        arg_taints: Sequence[Optional[Taint]],
+    ) -> tuple[bool, Optional[Taint]]:
+        """Apply a pass-1 summary; (found, result-taint)."""
+        summary = self.summaries.get(qualified)
+        if summary is None:
+            return False, None
+        returned = summary.returns
+        if returned is not None:
+            return True, replace(
+                returned,
+                crossed=True,
+                steps=returned.steps
+                + (
+                    TraceStep(
+                        self.info.path,
+                        node.lineno,
+                        f"returned by call to {name}()",
+                    ),
+                ),
+            )
+        for position in sorted(summary.param_flows):
+            if position < len(arg_taints):
+                taint = arg_taints[position]
+                if taint is not None and taint.kind in (
+                    "value",
+                    "order",
+                    "callable",
+                    "param",
+                ):
+                    return True, replace(
+                        taint,
+                        crossed=True,
+                        steps=taint.steps
+                        + (
+                            TraceStep(
+                                self.info.path,
+                                node.lineno,
+                                f"flows through call to {name}()",
+                            ),
+                        ),
+                    )
+        return True, None
+
+    # -- reporting -----------------------------------------------------
+    def _finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        taint: Taint,
+        sink_note: str,
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        end_line = getattr(node, "end_lineno", None) or line
+        if hasattr(node, "body"):
+            end_line = line
+        key = (rule, line, getattr(node, "col_offset", 0), message)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.info.path,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                end_line=end_line,
+                trace=taint.steps
+                + (TraceStep(self.info.path, line, sink_note),),
+            )
+        )
+
+    def _store_sink(
+        self, target: ast.expr, taint: Taint, stmt: ast.stmt
+    ) -> None:
+        if not self.sim or self.collect:
+            return
+        if taint.kind not in ("value", "order"):
+            return
+        desc = ast.unparse(target)
+        rule = "D112" if taint.crossed else "D110"
+        hazard = (
+            "nondeterministic iteration order"
+            if taint.kind == "order"
+            else "a nondeterministic value"
+        )
+        self._finding(
+            rule,
+            stmt,
+            f"simulation state {desc!r} receives {hazard} derived from "
+            f"{taint.source}; route it through a seeded substream "
+            f"({RNG_MODULE}) or drop it from simulation state",
+            taint,
+            f"sink: stored into {desc}",
+        )
+
+    def _mutator_sink(
+        self, func: ast.Attribute, taint: Taint, node: ast.Call
+    ) -> None:
+        if not self.sim or self.collect:
+            return
+        receiver = ast.unparse(func.value)
+        rule = "D112" if taint.crossed else "D110"
+        self._finding(
+            rule,
+            node,
+            f"simulation state {receiver!r} is mutated via .{func.attr}() "
+            f"with an argument derived from {taint.source}; route it "
+            f"through a seeded substream ({RNG_MODULE})",
+            taint,
+            f"sink: {receiver}.{func.attr}(...) called with the tainted "
+            "value",
+        )
+
+    def _alias_call(
+        self, func: ast.expr, alias: Taint, node: ast.Call
+    ) -> None:
+        if not self.sim or self.collect:
+            return
+        spelled = ast.unparse(func)
+        self._finding(
+            "D111",
+            node,
+            f"call through {spelled!r} invokes nondeterministic source "
+            f"{alias.source} via a local alias (bound at line "
+            f"{alias.line}); use a seeded substream from {RNG_MODULE}",
+            alias,
+            "alias invoked here",
+        )
+
+    # -- summary extraction --------------------------------------------
+    def summarize(self) -> FunctionSummary:
+        returns: Optional[Taint] = None
+        flows: set[int] = set()
+        for taint in self.return_taints:
+            if taint.kind == "param":
+                flows.add(taint.param)
+            elif returns is None or self._rank(taint) < self._rank(returns):
+                returns = taint
+        return FunctionSummary(returns=returns, param_flows=frozenset(flows))
+
+
+def _stmt_of(node: ast.expr) -> ast.stmt:
+    """A location-carrying stand-in for expression-level bindings."""
+    stmt = ast.Pass()
+    stmt.lineno = node.lineno
+    stmt.col_offset = node.col_offset
+    return stmt
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def check_flow(index: ProjectIndex) -> list[Finding]:
+    """Run the D11x determinism-taint analysis over the whole project.
+
+    Pass 1 summarizes every function in the index (so helpers in any
+    package can carry taint); pass 2 analyzes and reports only functions
+    in simulation-scope modules, where the sinks live.  The sanctioned
+    RNG module is exempt — it is the one place allowed to touch entropy.
+    """
+    summaries: dict[str, FunctionSummary] = {}
+    for info in index.modules.values():
+        if info.module == RNG_MODULE:
+            continue
+        for qualified, func in sorted(info.function_nodes.items()):
+            analysis = _TaintAnalysis(
+                info, index, qualified, func, summaries=None, collect=True
+            )
+            analysis.run(build_cfg(func))
+            summaries[qualified] = analysis.summarize()
+    findings: list[Finding] = []
+    for info in index.modules.values():
+        if info.module == RNG_MODULE or not _in_sim_scope(info.module):
+            continue
+        for qualified, func in sorted(info.function_nodes.items()):
+            analysis = _TaintAnalysis(
+                info, index, qualified, func, summaries=summaries, collect=False
+            )
+            analysis.run(build_cfg(func))
+            findings.extend(analysis.findings)
+    return findings

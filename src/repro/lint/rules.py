@@ -41,6 +41,13 @@ RULES: dict[str, str] = {
     "(hash order leaks into results)",
     "D105": "dict subscript or key built from id() in a simulation module "
     "(address-dependent state)",
+    "D110": "flow-sensitive determinism taint: a value derived from a "
+    "nondeterministic source reaches simulation state (full source→sink "
+    "trace attached)",
+    "D111": "nondeterministic callable (clock/entropy/random) aliased to "
+    "a local name and invoked in a simulation module",
+    "D112": "determinism taint crosses a call boundary: a helper returns "
+    "a nondeterministic value that reaches simulation state",
     "H200": "hot-path manifest entry does not resolve to a definition",
     "H201": "class on the hot-path manifest does not declare __slots__",
     "H202": "attribute not in __slots__ assigned on a slotted class",
@@ -58,13 +65,30 @@ RULES: dict[str, str] = {
     "repro.core (use repro.policies.registry.build_policy)",
     "C306": "broad `except Exception` handler that swallows the error "
     "(no raise in the handler body)",
+    "K401": "cache-key soundness: a field excluded from the class's "
+    "cache_token()/cache_key() walk is read on a simulation path and is "
+    "not on the _CACHE_NEUTRAL_FIELDS allowlist",
+    "K402": "stale _CACHE_NEUTRAL_FIELDS allowlist entry: names no "
+    "field, or a field the token walk already covers",
+    "K403": "impure operation (I/O, env, clock, randomness, global "
+    "mutation) reachable from cache_token()/cache_key() computation",
+    "W001": "`# repro: noqa` suppression that no longer matches any "
+    "finding (reported under --show-unused-noqa)",
     "E999": "file could not be parsed",
 }
 
 #: Packages whose modules count as "simulation modules" for D103-D105.
 SIM_PACKAGES = ("sim", "mem", "hybrid", "core", "cache", "cpu")
 #: Packages whose public functions must be fully annotated (C304).
-ANNOTATED_PACKAGES = ("repro.common", "repro.hybrid", "repro.lint")
+#: Mirrors the mypy strict-override list in pyproject.toml — extend both
+#: together.
+ANNOTATED_PACKAGES = (
+    "repro.common",
+    "repro.hybrid",
+    "repro.lint",
+    "repro.exec",
+    "repro.mem",
+)
 #: The only module allowed to touch random sources (D101/D102).
 RNG_MODULE = "repro.common.rng"
 
@@ -212,13 +236,21 @@ class _Checker(ast.NodeVisitor):
 
     # ------------------------------------------------------------------
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        # A noqa anywhere on a multi-line *statement* suppresses its
+        # findings; compound bodies (def/class/if/...) must not let the
+        # span swallow nested code, so they keep a single-line span.
+        end_line = getattr(node, "end_lineno", None) or line
+        if hasattr(node, "body"):
+            end_line = line
         self.findings.append(
             Finding(
                 rule=rule,
                 path=self.info.path,
-                line=getattr(node, "lineno", 1),
+                line=line,
                 col=getattr(node, "col_offset", 0) + 1,
                 message=message,
+                end_line=end_line,
             )
         )
 

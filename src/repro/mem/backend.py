@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.common.config import MEM_BACKENDS
 from repro.common.errors import InvalidValueError
 from repro.mem.batch import NO_ROW
@@ -98,26 +100,26 @@ def resolve_backend(name: str) -> str:
 
 
 def mem_tick(
-    order,
-    count,
-    bank_key,
-    row,
-    is_write,
-    open_row,
-    ready_at,
-    dirty,
-    closed_until,
-    timings,
-    banks,
-    streak,
-    cap,
-    now,
-    bus_free_at,
-    blocked_until,
-    next_refresh_m1,
-    next_refresh_m2,
-    row_idle_close,
-    out,
+    order: np.ndarray,
+    count: int,
+    bank_key: np.ndarray,
+    row: np.ndarray,
+    is_write: np.ndarray,
+    open_row: np.ndarray,
+    ready_at: np.ndarray,
+    dirty: np.ndarray,
+    closed_until: np.ndarray,
+    timings: np.ndarray,
+    banks: int,
+    streak: int,
+    cap: int,
+    now: int,
+    bus_free_at: int,
+    blocked_until: int,
+    next_refresh_m1: int,
+    next_refresh_m2: int,
+    row_idle_close: int,
+    out: np.ndarray,
 ) -> None:
     """One fused channel tick over the columnar state (both backends).
 

@@ -1,0 +1,18 @@
+"""D110: nondeterministic values reach simulation state via dataflow.
+
+The clock read and the set iteration are assigned to locals first, so
+the syntactic rules cannot connect them to the stores — the flow
+analysis must.
+"""
+import time
+
+
+class Engine:
+    def tick(self):
+        now = time.time()
+        self.stamp = now
+
+    def enqueue(self):
+        pending = {3, 1, 2}
+        for item in pending:
+            self.queue.append(item)

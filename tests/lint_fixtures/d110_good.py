@@ -1,0 +1,13 @@
+"""D110 stays silent: seeded substreams and sorted iteration."""
+from repro.common.rng import make_rng
+
+
+class Engine:
+    def tick(self, seed):
+        rng = make_rng(seed)
+        self.stamp = rng.random()
+
+    def enqueue(self):
+        pending = {3, 1, 2}
+        for item in sorted(pending):
+            self.queue.append(item)

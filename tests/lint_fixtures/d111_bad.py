@@ -1,0 +1,12 @@
+"""D111: a nondeterministic callable invoked through a local alias.
+
+Syntactic D103 only sees direct ``time.time()`` spellings; the alias
+hides the call site, so the flow analysis must track the binding.
+"""
+import time
+
+
+class Engine:
+    def tick(self):
+        clock = time.time
+        self.last = clock()

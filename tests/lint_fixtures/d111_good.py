@@ -1,0 +1,7 @@
+"""D111 stays silent on a *direct* call: that spelling is D103's job."""
+import time
+
+
+class Engine:
+    def tick(self):
+        self.last = time.time()

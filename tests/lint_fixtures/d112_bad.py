@@ -1,0 +1,24 @@
+"""D112: taint crosses a call boundary before reaching the sink.
+
+Two shapes: a helper that mints the nondeterministic value and returns
+it, and a helper that passes a tainted argument through unchanged.
+Both need the cross-function call summaries.
+"""
+import time
+
+
+def _jitter():
+    return time.time() * 0.5
+
+
+def _passthrough(value):
+    return value
+
+
+class Engine:
+    def tick(self):
+        self.stamp = _jitter()
+
+    def mix(self):
+        raw = time.time()
+        self.skew = _passthrough(raw)

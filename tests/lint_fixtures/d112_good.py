@@ -1,0 +1,11 @@
+"""D112 stays silent: helper routes only seed-derived values."""
+from repro.common.rng import substream_seed
+
+
+def _derive(seed):
+    return substream_seed(seed, "engine")
+
+
+class Engine:
+    def tick(self, seed):
+        self.stamp = _derive(seed)

@@ -1,0 +1,24 @@
+"""K401: a field deleted from the cache walk is read on a sim path.
+
+``debug_level`` is excluded from ``cache_token()`` (the ``del``) but
+not on any ``_CACHE_NEUTRAL_FIELDS`` allowlist, and ``reader`` consults
+it — a config change the disk cache would silently ignore.
+"""
+from dataclasses import dataclass
+
+from repro.common.serialize import canonical_digest, canonical_value
+
+
+@dataclass(frozen=True)
+class MiniConfig:
+    size: int = 4
+    debug_level: int = 0
+
+    def cache_token(self):
+        value = canonical_value(self)
+        del value["debug_level"]
+        return canonical_digest(value)
+
+
+def reader(config: MiniConfig):
+    return config.debug_level

@@ -1,0 +1,22 @@
+"""K401 stays silent: the exclusion is a reviewed allowlist entry."""
+from dataclasses import dataclass
+
+from repro.common.serialize import canonical_digest, canonical_value
+
+
+@dataclass(frozen=True)
+class MiniConfig:
+    size: int = 4
+    debug_level: int = 0
+
+    # Reviewed: debug_level only toggles diagnostics, never results.
+    _CACHE_NEUTRAL_FIELDS = ("debug_level",)
+
+    def cache_token(self):
+        value = canonical_value(self)
+        del value["debug_level"]
+        return canonical_digest(value)
+
+
+def reader(config: MiniConfig):
+    return config.debug_level

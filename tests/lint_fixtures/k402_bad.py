@@ -1,0 +1,14 @@
+"""K402: stale allowlist entries — one names no field, one is covered."""
+from dataclasses import dataclass
+
+from repro.common.serialize import canonical_digest, canonical_value
+
+
+@dataclass(frozen=True)
+class MiniConfig:
+    size: int = 4
+
+    _CACHE_NEUTRAL_FIELDS = ("ghost", "size")
+
+    def cache_token(self):
+        return canonical_digest(canonical_value(self))

@@ -1,0 +1,17 @@
+"""K402 stays silent: every allowlist entry documents a real exclusion."""
+from dataclasses import dataclass
+
+from repro.common.serialize import canonical_digest, canonical_value
+
+
+@dataclass(frozen=True)
+class MiniConfig:
+    size: int = 4
+    debug_level: int = 0
+
+    _CACHE_NEUTRAL_FIELDS = ("debug_level",)
+
+    def cache_token(self):
+        value = canonical_value(self)
+        del value["debug_level"]
+        return canonical_digest(value)

@@ -1,0 +1,18 @@
+"""K403: an environment read reachable from cache-token computation."""
+import os
+from dataclasses import dataclass
+
+from repro.common.serialize import canonical_digest, canonical_value
+
+
+def _salt():
+    return os.environ.get("PROFESS_SALT", "")
+
+
+@dataclass(frozen=True)
+class MiniConfig:
+    size: int = 4
+
+    def cache_token(self):
+        value = canonical_value(self)
+        return canonical_digest({"value": value, "salt": _salt()})

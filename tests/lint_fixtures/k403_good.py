@@ -1,0 +1,17 @@
+"""K403 stays silent: token computation is a pure fold of field values."""
+import hashlib
+from dataclasses import dataclass
+
+from repro.common.serialize import canonical_value
+
+
+def _fold(value):
+    return hashlib.sha256(repr(value).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class MiniConfig:
+    size: int = 4
+
+    def cache_token(self):
+        return _fold(canonical_value(self))

@@ -1,0 +1,9 @@
+"""A suppression on the *last* line of a multi-line statement works."""
+import time
+
+
+def snapshot():
+    stamp = time.time(
+        # the call spans physical lines; the comment sits on the close
+    )  # repro: noqa[D103]
+    return stamp

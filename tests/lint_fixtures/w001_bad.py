@@ -1,0 +1,5 @@
+"""W001: suppressions that no longer match any finding."""
+
+
+def compute():  # repro: noqa[D101]
+    return 1

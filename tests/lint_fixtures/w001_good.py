@@ -1,0 +1,2 @@
+"""W001 stays silent: the suppression still matches a real finding."""
+import random  # repro: noqa[D101]

@@ -43,6 +43,8 @@ class Case:
     #: Batched tick-loop entries (H204; qualnames, relative to ``module``).
     bad_batch: tuple[str, ...] = ()
     good_batch: tuple[str, ...] = ()
+    #: Lint with ``--show-unused-noqa`` (the W001 fixtures need it).
+    show_unused: bool = False
 
     def manifests(self, kind: str) -> tuple[frozenset, frozenset, frozenset]:
         classes = self.bad_classes if kind == "bad" else self.good_classes
@@ -61,6 +63,9 @@ CASES: dict[str, Case] = {
     "D103": Case(module="repro.sim.fixture"),
     "D104": Case(module="repro.sim.fixture"),
     "D105": Case(module="repro.sim.fixture"),
+    "D110": Case(module="repro.sim.fixture"),
+    "D111": Case(module="repro.sim.fixture"),
+    "D112": Case(module="repro.sim.fixture"),
     "H200": Case(
         module="repro.sim.fixture",
         bad_classes=("Missing",),
@@ -88,6 +93,10 @@ CASES: dict[str, Case] = {
     "C304": Case(module="repro.common.fixture"),
     "C305": Case(module="repro.experiments.fixture"),
     "C306": Case(module="repro.analysis.fixture"),
+    "K401": Case(module="repro.sim.fixture"),
+    "K402": Case(module="repro.sim.fixture"),
+    "K403": Case(module="repro.sim.fixture"),
+    "W001": Case(module="repro.analysis.fixture", show_unused=True),
     "E999": Case(module="repro.analysis.fixture"),
 }
 
@@ -100,6 +109,7 @@ def lint_fixture(
     hot_classes: frozenset = NO_HOT,
     hot_functions: frozenset = NO_HOT,
     batch_functions: frozenset = NO_HOT,
+    show_unused_noqa: bool = False,
 ) -> list[Finding]:
     path = FIXTURES / f"{name}.py"
     return lint_sources(
@@ -109,6 +119,7 @@ def lint_fixture(
         hot_classes=hot_classes,
         hot_functions=hot_functions,
         batch_functions=batch_functions,
+        show_unused_noqa=show_unused_noqa,
     )
 
 
@@ -122,6 +133,7 @@ def lint_case(rule: str, kind: str) -> list[Finding]:
         hot_classes=hot_classes,
         hot_functions=hot_functions,
         batch_functions=batch_functions,
+        show_unused_noqa=case.show_unused,
     )
 
 
@@ -169,6 +181,9 @@ class TestRulesFire:
         assert len(lint_case("C302", "bad")) == 3  # list, dict, set
         assert len(lint_case("C303", "bad")) == 2  # local class + builtin
         assert len(lint_case("C306", "bad")) == 2  # plain + inside tuple
+        assert len(lint_case("D110", "bad")) == 2  # clock store + set order
+        assert len(lint_case("D112", "bad")) == 2  # helper return + flow-through
+        assert len(lint_case("K402", "bad")) == 2  # ghost + covered entry
 
 
 class TestSuppressions:
@@ -184,6 +199,29 @@ class TestSuppressions:
     def test_wrong_rule_noqa_does_not_suppress(self):
         findings = lint_fixture("noqa_wrong_rule", "repro.analysis.fixture")
         assert [f.rule for f in findings] == ["D101"]
+
+    def test_noqa_on_any_line_of_multiline_statement(self):
+        # The call spans three physical lines; the comment sits on the
+        # closing paren's line and must still suppress the finding.
+        assert lint_fixture("noqa_multiline", "repro.sim.fixture") == []
+
+    def test_marker_inside_string_literal_is_inert(self):
+        # Documentation *about* the marker is not a suppression: it must
+        # neither hide the finding nor count as stale under W001.
+        source = 'import random; DOC = "# repro: noqa"\n'
+        findings = lint_sources(
+            {"repro.analysis.fixture": ("<inline>", source)},
+            show_unused_noqa=True,
+        )
+        assert [f.rule for f in findings] == ["D101"]
+
+    def test_unused_noqa_reported_only_on_request(self):
+        silent = lint_fixture("w001_bad", "repro.analysis.fixture")
+        assert silent == []
+        reported = lint_fixture(
+            "w001_bad", "repro.analysis.fixture", show_unused_noqa=True
+        )
+        assert [f.rule for f in reported] == ["W001"]
 
 
 class TestSelection:
@@ -265,5 +303,13 @@ class TestRepoClean:
     def test_src_repro_is_lint_clean(self):
         findings = lint_paths([SRC])
         assert findings == [], "src/repro must stay lint-clean:\n" + "\n".join(
+            f.render() for f in findings
+        )
+
+    def test_src_repro_has_no_stale_noqa(self):
+        # Every suppression comment in the tree must still match a
+        # finding — stale ones get deleted, not accumulated.
+        findings = lint_paths([SRC], show_unused_noqa=True)
+        assert findings == [], "stale noqa in src/repro:\n" + "\n".join(
             f.render() for f in findings
         )

@@ -1,0 +1,219 @@
+"""Unit tests for the flow layer: CFG builder, taint traces, selection.
+
+The fixture meta-suite (``test_lint.py``) proves the D11x rules fire and
+stay silent; this file pins down the machinery underneath — the shape of
+the control-flow graph, the source→sink traces attached to findings, and
+how the dataflow rules interact with ``--select`` / ``--ignore``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Optional
+
+from repro.lint import Finding, lint_sources
+from repro.lint.cfg import build_cfg
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def _cfg_of(source: str):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func)
+
+
+def _reachable(cfg) -> set[int]:
+    seen = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        for succ in cfg.blocks[stack.pop()].succs:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+class TestCfgBuilder:
+    def test_straight_line_is_one_block(self):
+        cfg = _cfg_of("def f():\n    a = 1\n    b = a\n    return b\n")
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.elements) == 3
+        assert entry.succs == [cfg.exit]
+
+    def test_if_else_diamond(self):
+        cfg = _cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        entry = cfg.blocks[cfg.entry]
+        # The branch test is lifted into the entry block as an element.
+        assert any(isinstance(e, ast.expr) for e in entry.elements)
+        assert len(entry.succs) == 2
+        then_block, else_block = (cfg.blocks[i] for i in entry.succs)
+        # Both arms rejoin at a single after-block.
+        assert then_block.succs == else_block.succs
+
+    def test_if_without_else_has_fallthrough_edge(self):
+        cfg = _cfg_of("def f(x):\n    if x:\n        a = 1\n    return x\n")
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.succs) == 2  # then-arm and direct fall-through
+
+    def test_while_loop_has_back_edge(self):
+        cfg = _cfg_of("def f(x):\n    while x:\n        x -= 1\n    return x\n")
+        headers = [
+            b
+            for b in cfg.blocks
+            if any(isinstance(e, ast.expr) for e in b.elements)
+        ]
+        assert len(headers) == 1
+        header = headers[0]
+        body = next(
+            cfg.blocks[i]
+            for i in header.succs
+            if any(isinstance(e, ast.AugAssign) for e in cfg.blocks[i].elements)
+        )
+        assert header.index in body.succs  # the back edge
+
+    def test_for_header_holds_the_for_node(self):
+        cfg = _cfg_of("def f(xs):\n    for x in xs:\n        y = x\n")
+        assert any(
+            isinstance(e, ast.For) for b in cfg.blocks for e in b.elements
+        )
+
+    def test_return_edges_to_exit_and_kills_flow(self):
+        cfg = _cfg_of("def f():\n    return 1\n    unreachable = 2\n")
+        entry = cfg.blocks[cfg.entry]
+        assert entry.succs == [cfg.exit]
+        stored = [
+            e for b in cfg.blocks for e in b.elements if isinstance(e, ast.Assign)
+        ]
+        assert stored == []  # dead code after return is dropped
+
+    def test_try_body_edges_into_every_handler(self):
+        cfg = _cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a = 1\n"
+            "    except ValueError:\n"
+            "        b = 2\n"
+            "    except KeyError:\n"
+            "        c = 3\n"
+        )
+
+        def block_with(name: str) -> int:
+            for block in cfg.blocks:
+                for element in block.elements:
+                    if isinstance(element, ast.Assign) and any(
+                        isinstance(t, ast.Name) and t.id == name
+                        for t in element.targets
+                    ):
+                        return block.index
+            raise AssertionError(name)
+
+        body = cfg.blocks[block_with("a")]
+        assert block_with("b") in body.succs
+        assert block_with("c") in body.succs
+
+    def test_break_exits_loop_continue_reenters(self):
+        cfg = _cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "        continue\n"
+            "    return 0\n"
+        )
+        # Everything except dead blocks is reachable and the exit is too.
+        assert cfg.exit in _reachable(cfg)
+
+    def test_with_body_stays_in_block_stream(self):
+        cfg = _cfg_of(
+            "def f(ctx):\n    with ctx as c:\n        a = c\n    return a\n"
+        )
+        entry = cfg.blocks[cfg.entry]
+        kinds = [type(e).__name__ for e in entry.elements]
+        assert kinds == ["With", "Assign", "Return"]
+
+
+def _lint(
+    name: str,
+    module: str = "repro.sim.fixture",
+    select: Optional[str] = None,
+    ignore: Optional[str] = None,
+) -> list[Finding]:
+    path = FIXTURES / f"{name}.py"
+    return lint_sources(
+        {module: (str(path), path.read_text(encoding="utf-8"))},
+        select=select,
+        ignore=ignore,
+        hot_classes=frozenset(),
+        hot_functions=frozenset(),
+        batch_functions=frozenset(),
+    )
+
+
+class TestTraces:
+    """Every flow finding carries a full source→sink trace."""
+
+    def test_d110_trace_has_source_and_sink(self):
+        finding = next(
+            f
+            for f in _lint("d110_bad", select="D110")
+            if "self.stamp" in f.message
+        )
+        notes = [step.note for step in finding.trace]
+        assert any(note.startswith("source:") for note in notes)
+        assert any(note.startswith("sink:") for note in notes)
+        # The intermediate assignment appears between source and sink.
+        assert any("assigned to 'now'" in note for note in notes)
+
+    def test_d111_trace_names_the_alias_binding(self):
+        (finding,) = _lint("d111_bad", select="D111")
+        assert "alias" in finding.message
+        assert "time.time" in finding.message
+
+    def test_d112_trace_crosses_the_helper_call(self):
+        findings = _lint("d112_bad", select="D112")
+        assert findings
+        for finding in findings:
+            notes = [step.note for step in finding.trace]
+            assert any("call to" in note for note in notes)
+            assert any(note.startswith("sink:") for note in notes)
+
+    def test_trace_lines_are_positive_and_pathed(self):
+        for finding in _lint("d110_bad", select="D110"):
+            for step in finding.trace:
+                assert step.line >= 1
+                assert step.path.endswith(".py")
+
+    def test_render_trace_includes_steps(self):
+        finding = _lint("d110_bad", select="D110")[0]
+        rendered = finding.render_trace()
+        assert "source:" in rendered and "sink:" in rendered
+
+
+class TestFlowSelection:
+    """--select / --ignore compose with the dataflow rules."""
+
+    def test_select_d11_family_drops_d103(self):
+        # d110_bad also contains a direct time.time() call (D103), but a
+        # D11-prefix selection keeps only the dataflow findings.
+        findings = _lint("d110_bad", select="D11")
+        assert findings
+        assert {f.rule for f in findings} == {"D110"}
+
+    def test_ignore_d11_keeps_direct_call_rule(self):
+        findings = _lint("d110_bad", select="D", ignore="D11")
+        assert findings  # D103 still reports the direct clock call
+        assert "D110" not in {f.rule for f in findings}
+
+    def test_flow_rules_silent_outside_sim_scope(self):
+        # Identical code under an analysis module: D11x does not apply.
+        assert _lint("d110_bad", module="repro.analysis.fixture", select="D110") == []
