@@ -103,6 +103,20 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "finishing the wave and reporting a failure table",
     )
     _add_backend_flag(parser)
+    _add_transport_flag(parser)
+
+
+def _add_transport_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--transport",
+        choices=("auto", "pickle", "shm"),
+        default="auto",
+        help="how workers return results: 'pickle' (full result over the "
+        "pool pipe), 'shm' (length-prefixed frames in shared memory; the "
+        "parent maps them lazily), or 'auto' (shm when --jobs > 1); "
+        "results are byte-identical across transports and the choice "
+        "never affects cache keys",
+    )
 
 
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
@@ -239,13 +253,45 @@ def build_parser() -> argparse.ArgumentParser:
     char_parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
     char_parser.add_argument("--seed", type=int, default=0)
 
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect or maintain a persistent result cache directory",
+        description="Report entry and quarantine counts for a "
+        "--cache-dir, optionally deleting quarantined entries "
+        "(--prune-quarantine) or every entry (--clear).  Quarantine "
+        "holds corrupt/stale payloads moved aside for diagnosis; nothing "
+        "expires them automatically, so long-lived shared caches need "
+        "the occasional prune.",
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        type=_cache_dir,
+        required=True,
+        help="the cache directory to inspect (same flag as 'profess run')",
+    )
+    cache_parser.add_argument(
+        "--prune-quarantine",
+        action="store_true",
+        help="delete quarantined entries and their .reason.txt notes",
+    )
+    cache_parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="delete every cached result (quarantine is left alone "
+        "unless --prune-quarantine is also given)",
+    )
+
     perf_parser = subparsers.add_parser(
         "perf",
         help="run the standard kernel benchmark (events/sec)",
         description="Measure simulation-kernel throughput on two fixed "
         "scenarios and write BENCH_kernel.json.  With --baseline, exits "
         "non-zero when events/sec regresses below --min-ratio times the "
-        "recorded rates (the CI perf-smoke gate).",
+        "recorded rates (the CI perf-smoke gate).  With --sweep, run the "
+        "sweep-scale benchmark instead: a few hundred small specs "
+        "through the executor under --transport, gating throughput "
+        "(floor) and parent peak RSS (ceiling) against a baseline "
+        "BENCH_sweep.json (the CI sweep-scale gate).",
     )
     perf_parser.add_argument(
         "--quick",
@@ -261,14 +307,16 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument(
         "--out",
         type=Path,
-        default=Path("BENCH_kernel.json"),
-        help="where to write the benchmark payload",
+        default=None,
+        help="where to write the benchmark payload (default "
+        "BENCH_kernel.json, or BENCH_sweep.json with --sweep)",
     )
     perf_parser.add_argument(
         "--baseline",
         type=Path,
         default=None,
-        help="baseline BENCH_kernel.json to compare against",
+        help="baseline BENCH_kernel.json (or BENCH_sweep.json with "
+        "--sweep) to compare against",
     )
     perf_parser.add_argument(
         "--min-ratio",
@@ -276,6 +324,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.7,
         help="fail when events/sec drops below this fraction of baseline",
     )
+    perf_parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the sweep-scale execution benchmark instead of the "
+        "kernel benchmark (throughput floor + parent peak-RSS ceiling)",
+    )
+    perf_parser.add_argument(
+        "--sweep-specs",
+        type=int,
+        default=200,
+        metavar="N",
+        help="wave width for --sweep (baselines only compare at equal N)",
+    )
+    perf_parser.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=1,
+        help="worker processes for --sweep (1 = in-process serial)",
+    )
+    perf_parser.add_argument(
+        "--max-rss-ratio",
+        type=float,
+        default=1.4,
+        help="with --sweep and --baseline: fail when parent peak RSS "
+        "exceeds this multiple of the baseline's",
+    )
+    _add_transport_flag(perf_parser)
     perf_parser.add_argument(
         "--components",
         action="store_true",
@@ -400,6 +475,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         run_timeout=getattr(args, "run_timeout", None),
         fail_fast=getattr(args, "fail_fast", False),
         resume=getattr(args, "resume", False),
+        transport=getattr(args, "transport", "auto"),
     )
 
 
@@ -466,7 +542,12 @@ def _run(args: argparse.Namespace) -> int:
         stats = pstats.Stats(profiler, stream=sys.stdout)
         stats.strip_dirs().sort_stats("cumulative").print_stats(25)
     if args.verbose:
+        from repro.perf.sweep_bench import peak_rss_mb
+
         print(format_run_stats(runner))
+        rss = peak_rss_mb()
+        if rss > 0:
+            print(f"parent peak RSS: {rss:,.1f} MiB")
     if runner.failures:
         print(format_failure_table(runner.failures), file=sys.stderr)
         print(
@@ -544,8 +625,70 @@ def _characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _perf_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.sweep_bench import (
+        compare_sweep_to_baseline,
+        run_sweep_benchmark,
+        sweep_markdown_summary,
+        write_sweep_json,
+    )
+
+    progress = print if args.verbose else None
+    payload = run_sweep_benchmark(
+        count=args.sweep_specs,
+        jobs=args.jobs,
+        transport=args.transport,
+        progress=progress,
+    )
+    print(
+        f"sweep    {payload['spec_count']} specs  "
+        f"jobs={payload['jobs']} transport={payload['transport']}  "
+        f"{payload['requests_per_sec']:>11,.0f} requests/sec  "
+        f"peak RSS {payload['peak_rss_mb']:,.1f} MiB"
+    )
+    if payload["failed"]:
+        print(
+            f"PERF WARNING: {payload['failed']} spec(s) failed",
+            file=sys.stderr,
+        )
+    out = args.out if args.out is not None else Path("BENCH_sweep.json")
+    write_sweep_json(payload, out)
+    print(f"wrote {out}")
+
+    baseline = None
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+
+    if args.summary is not None:
+        with args.summary.open("a") as handle:
+            handle.write(sweep_markdown_summary(payload, baseline))
+        print(f"appended summary to {args.summary}")
+
+    if baseline is not None:
+        failures = compare_sweep_to_baseline(
+            payload,
+            baseline,
+            min_ratio=args.min_ratio,
+            max_rss_ratio=args.max_rss_ratio,
+        )
+        if failures:
+            for failure in failures:
+                print(f"SWEEP REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"within {args.min_ratio:.2f}x throughput / "
+            f"{args.max_rss_ratio:.2f}x RSS of baseline {args.baseline}"
+        )
+    return 0
+
+
 def _perf(args: argparse.Namespace) -> int:
     import json
+
+    if args.sweep:
+        return _perf_sweep(args)
 
     from repro.perf.bench import (
         compare_to_baseline,
@@ -587,8 +730,9 @@ def _perf(args: argparse.Namespace) -> int:
             f"{decode['speedup']:.1f}x (identical={decode['identical']})"
         )
 
-    write_bench_json(payload, args.out)
-    print(f"wrote {args.out}")
+    out = args.out if args.out is not None else Path("BENCH_kernel.json")
+    write_bench_json(payload, out)
+    print(f"wrote {out}")
 
     if args.components:
         for scenario in standard_scenarios(quick=args.quick):
@@ -618,6 +762,21 @@ def _perf(args: argparse.Namespace) -> int:
                 print(f"PERF REGRESSION: {failure}", file=sys.stderr)
             return 1
         print(f"within {args.min_ratio:.2f}x of baseline {args.baseline}")
+    return 0
+
+
+def _cache(args: argparse.Namespace) -> int:
+    from repro.exec.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s)")
+    if args.prune_quarantine:
+        pruned = cache.prune_quarantine()
+        print(f"pruned {pruned} quarantined entr(ies)")
+    print(f"cache {args.cache_dir}: {len(cache)} entr(ies), "
+          f"{cache.quarantine_count()} quarantined")
     return 0
 
 
@@ -760,6 +919,8 @@ def main(argv: list[str] | None = None) -> int:
         return _characterize(args)
     if args.command == "perf":
         return _perf(args)
+    if args.command == "cache":
+        return _cache(args)
     if args.command == "golden":
         return _golden(args)
     if args.command == "lint":

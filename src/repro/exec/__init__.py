@@ -1,6 +1,6 @@
 """Execution subsystem: unified run specs, disk caching, parallelism.
 
-Five layers (see DESIGN.md §9 / §15):
+Seven layers (see DESIGN.md §9 / §15 / §17):
 
 * :class:`~repro.exec.spec.RunSpec` — a frozen, content-addressed
   description of one simulation.
@@ -10,11 +10,17 @@ Five layers (see DESIGN.md §9 / §15):
 * :class:`~repro.exec.executor.Executor` — batch execution over a
   process pool with deterministic ordering, per-spec fault isolation,
   retries, wall-clock timeouts, and worker replacement.
+* :mod:`repro.exec.transport` — the shm result transport: workers write
+  length-prefixed frames into mmap-backed segments and return small
+  handles over the pool pipe instead of pickled result dicts.
+* :mod:`repro.exec.streaming` — wave reducers (``run_wave(...,
+  reducer=...)``) that fold completions as they land, so figure sweeps
+  never materialize a full wave in the parent.
 * :mod:`repro.exec.resilience` — the failure taxonomy
   (:class:`RunFailure`, :class:`RetryPolicy`) and the append-only
   :class:`RunJournal` behind ``profess run --resume``.
 * :mod:`repro.exec.chaos` — deterministic fault injection for testing
-  every degradation path.
+  every degradation path, including frame-write faults.
 """
 
 from repro.exec.cache import CACHE_VERSION, ResultCache
@@ -35,25 +41,45 @@ from repro.exec.resilience import (
     format_failure_table,
 )
 from repro.exec.spec import RunSpec, build_traces, workload_traces
+from repro.exec.streaming import GroupReducer, ListReducer, WaveReducer
+from repro.exec.transport import (
+    TRANSPORTS,
+    FrameCorruptionError,
+    FrameHandle,
+    FrameReader,
+    FrameWriter,
+    ShmSession,
+    resolve_transport,
+)
 
 __all__ = [
     "CACHE_VERSION",
     "ChaosError",
     "ChaosPlan",
     "Executor",
+    "FrameCorruptionError",
+    "FrameHandle",
+    "FrameReader",
+    "FrameWriter",
+    "GroupReducer",
+    "ListReducer",
     "ResultCache",
     "RetryPolicy",
     "RunEvent",
     "RunFailure",
     "RunJournal",
     "RunSpec",
+    "ShmSession",
     "SpecTimeoutError",
     "SweepFailure",
+    "TRANSPORTS",
     "TruncatingResultCache",
+    "WaveReducer",
     "WaveResult",
     "WorkerFailure",
     "build_traces",
     "execute_spec",
     "format_failure_table",
+    "resolve_transport",
     "workload_traces",
 ]

@@ -162,6 +162,29 @@ class ResultCache:
         quarantine = self.directory / QUARANTINE_DIR
         return sum(1 for _ in quarantine.glob("*.json"))
 
+    def prune_quarantine(self) -> int:
+        """Delete quarantined entries (and their reason files).
+
+        Quarantine preserves corrupt bytes for diagnosis, but nothing
+        expires them — a long-lived shared cache directory accumulates
+        them unbounded.  Returns how many *entries* were removed
+        (``profess cache --prune-quarantine``).
+        """
+        quarantine = self.directory / QUARANTINE_DIR
+        removed = 0
+        for path in quarantine.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue  # racing pruner or read-only dir: skip
+        for reason in quarantine.glob("*.reason.txt"):
+            try:
+                reason.unlink()
+            except OSError:
+                pass  # best-effort cleanup of the annotations
+        return removed
+
     def stats(self) -> dict[str, int]:
         """Hit/miss/store counters for this cache instance's lifetime."""
         return {

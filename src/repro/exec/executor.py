@@ -43,7 +43,13 @@ from typing import Callable, Optional, Sequence
 
 from repro.common.errors import InvalidValueError
 from repro.exec.cache import ResultCache
-from repro.exec.chaos import ChaosPlan, apply_chaos
+from repro.exec.chaos import (
+    ACTION_FRAME_CORRUPT,
+    ACTION_FRAME_KILL,
+    ChaosKilledError,
+    ChaosPlan,
+    apply_chaos,
+)
 from repro.exec.resilience import (
     RetryPolicy,
     RunFailure,
@@ -54,6 +60,17 @@ from repro.exec.resilience import (
     failure_from_error,
 )
 from repro.exec.spec import RunSpec, build_traces
+from repro.exec.streaming import WaveReducer
+from repro.exec.transport import (
+    HEADER_SIZE,
+    TRANSPORT_SHM,
+    FrameCorruptionError,
+    FrameHandle,
+    ShmSession,
+    encode_result,
+    resolve_transport,
+    writer_for,
+)
 from repro.sim.results import SimulationResult
 
 #: Result provenance labels reported via :class:`RunEvent`.
@@ -114,6 +131,56 @@ def _guarded_execute(
         raise WorkerFailure.wrap(key, run_id, spec.describe(), error) from None
 
 
+def _guarded_execute_frame(
+    spec: RunSpec,
+    run_id: str,
+    attempt: int,
+    directory: str,
+    chaos: Optional[ChaosPlan] = None,
+    in_worker: bool = True,
+) -> FrameHandle:
+    """The shm-transport pool task: run, then *write* instead of return.
+
+    The result is encoded into a frame in this process's segment file
+    under ``directory`` and only the :class:`FrameHandle` crosses the
+    pool pipe.  Frame-level chaos is injected here, after the simulation
+    itself succeeded: a frame-kill writes half a frame and dies (the
+    on-disk picture of a worker lost mid-write — the handle never
+    arrives), a frame-corrupt returns an intact handle over truncated
+    bytes (the parent's digest check must refuse them).
+    """
+    key = spec.cache_key()
+    try:
+        if chaos is not None:
+            apply_chaos(chaos, key, attempt, in_worker=in_worker)
+        result, elapsed = _timed_execute(spec)
+        payload = encode_result(result)
+        writer = writer_for(directory)
+        action = (
+            chaos.frame_action_for(key, attempt)
+            if chaos is not None
+            else None
+        )
+        if action == ACTION_FRAME_KILL:
+            writer.write(
+                key, payload, elapsed,
+                keep=HEADER_SIZE + len(payload) // 2,
+            )
+            if in_worker:
+                os._exit(3)
+            raise ChaosKilledError(
+                f"chaos: worker killed mid-frame-write for {key[:12]} "
+                f"attempt {attempt}"
+            )
+        keep: Optional[int] = None
+        if action == ACTION_FRAME_CORRUPT:
+            # Commit the handle but lose the payload's tail bytes.
+            keep = HEADER_SIZE + max(0, len(payload) - 7)
+        return writer.write(key, payload, elapsed, keep=keep)
+    except Exception as error:
+        raise WorkerFailure.wrap(key, run_id, spec.describe(), error) from None
+
+
 @dataclass(frozen=True)
 class RunEvent:
     """One completed run, as reported to progress callbacks."""
@@ -159,6 +226,41 @@ class _Flight:
     deadline: Optional[float] = None
 
 
+class _WaveSink:
+    """Where one wave's completions land: materialize or stream.
+
+    Without a reducer, results accumulate in ``by_key`` exactly as the
+    materializing wave always did.  With one, each unique key is folded
+    the moment it completes and *nothing is retained* — ``done`` (a set
+    of keys) is the only per-spec state, so parent memory no longer
+    scales with result size.  Either way a key is absorbed at most once,
+    which is the exactly-once guarantee reducers rely on (a salvaged
+    future and its re-queued twin cannot both fold).
+    """
+
+    def __init__(self, reducer: Optional[WaveReducer] = None) -> None:
+        self.reducer = reducer
+        self.by_key: dict[str, SimulationResult] = {}
+        self.done: set[str] = set()
+
+    def add(
+        self, key: str, spec: RunSpec, result: SimulationResult
+    ) -> None:
+        if key in self.done:
+            return
+        self.done.add(key)
+        if self.reducer is not None:
+            self.reducer.fold(key, spec, result)
+        else:
+            self.by_key[key] = result
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.done
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        return self.by_key.get(key)
+
+
 class Executor:
     """Runs batches of specs with caching, parallelism, and isolation."""
 
@@ -173,12 +275,18 @@ class Executor:
         fail_fast: bool = False,
         chaos: Optional[ChaosPlan] = None,
         run_id: Optional[str] = None,
+        transport: str = "auto",
     ) -> None:
         if jobs < 1:
             raise InvalidValueError("jobs must be >= 1")
         if run_timeout is not None and run_timeout <= 0:
             raise InvalidValueError("run_timeout must be > 0 (or None)")
+        # Validate the name eagerly; `auto` resolves per wave.  Like
+        # `mem_backend`, transport is an execution detail: it never
+        # enters cache keys and never changes result bytes.
+        resolve_transport(transport, jobs)
         self.jobs = jobs
+        self.transport = transport
         self.cache = cache
         self.on_run = on_run
         self.retry = retry if retry is not None else RetryPolicy(retries=0)
@@ -194,29 +302,47 @@ class Executor:
         self.retried = 0
         #: Every spec that ultimately failed, across this executor's life.
         self.failures: list[RunFailure] = []
+        #: The active wave's shm session (None under the pickle path).
+        self._session: Optional[ShmSession] = None
 
     # ------------------------------------------------------------------
     def run(self, spec: RunSpec) -> SimulationResult:
         """Run (or fetch) a single spec."""
         return self.run_many([spec])[0]
 
-    def run_many(self, specs: Sequence[RunSpec]) -> list[SimulationResult]:
+    def run_many(
+        self,
+        specs: Sequence[RunSpec],
+        reducer: Optional[WaveReducer] = None,
+    ) -> list[SimulationResult]:
         """Run a batch; results align 1:1 with the submitted specs.
 
         Strict: raises :class:`SweepFailure` if any spec still failed
         after retries.  Use :meth:`run_wave` to consume partial waves.
+        With a ``reducer`` the returned list is all-``None`` placeholders
+        (the reducer holds the wave's substance).
         """
-        return self.run_wave(specs).raise_on_failure()
+        return self.run_wave(specs, reducer=reducer).raise_on_failure()
 
-    def run_wave(self, specs: Sequence[RunSpec]) -> WaveResult:
+    def run_wave(
+        self,
+        specs: Sequence[RunSpec],
+        reducer: Optional[WaveReducer] = None,
+    ) -> WaveResult:
         """Run a batch with fault isolation; failures never propagate.
 
         Every spec either yields a result (cache, serial, or pool) or a
         structured :class:`RunFailure` after its attempt budget runs out;
         one bad spec cannot take down the others' work.
+
+        With a ``reducer`` the wave *streams*: each unique spec's result
+        is folded exactly once as it completes (cache hits included),
+        every terminal failure is folded through ``fold_failure`` before
+        returning, and ``WaveResult.results`` holds ``None`` placeholders
+        — the parent never retains the wave.
         """
         specs = list(specs)
-        by_key: dict[str, SimulationResult] = {}
+        sink = _WaveSink(reducer)
         # Deduplicate while preserving first-appearance order so the
         # execution schedule (and therefore any progress output) is
         # deterministic.
@@ -227,20 +353,32 @@ class Executor:
         for key, spec in unique.items():
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
-                by_key[key] = cached
+                sink.add(key, spec, cached)
                 self._journal_completed(key, SOURCE_CACHE, 0.0)
                 self._notify(RunEvent(spec, cached, 0.0, SOURCE_CACHE))
             else:
                 pending.append((key, spec))
         failures: list[RunFailure] = []
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                self._run_pool(pending, by_key, failures)
-            else:
-                self._run_serial(pending, by_key, failures)
+            use_shm = (
+                resolve_transport(self.transport, self.jobs) == TRANSPORT_SHM
+            )
+            self._session = ShmSession.create() if use_shm else None
+            try:
+                if self.jobs > 1 and len(pending) > 1:
+                    self._run_pool(pending, sink, failures)
+                else:
+                    self._run_serial(pending, sink, failures)
+            finally:
+                session, self._session = self._session, None
+                if session is not None:
+                    session.close()
         self.failures.extend(failures)
+        if reducer is not None:
+            for failure in failures:
+                reducer.fold_failure(failure)
         return WaveResult(
-            results=[by_key.get(spec.cache_key()) for spec in specs],
+            results=[sink.get(spec.cache_key()) for spec in specs],
             failures=failures,
         )
 
@@ -254,14 +392,28 @@ class Executor:
         result: SimulationResult,
         elapsed: float,
         source: str,
-        by_key: dict[str, SimulationResult],
+        sink: _WaveSink,
     ) -> None:
-        by_key[key] = result
+        sink.add(key, spec, result)
         self.executed += 1
         if self.cache is not None:
             self.cache.put(spec, result)
         self._journal_completed(key, source, elapsed)
         self._notify(RunEvent(spec, result, elapsed, source))
+
+    def _decode(
+        self, spec: RunSpec, handle: FrameHandle
+    ) -> tuple[SimulationResult, float]:
+        """Map and verify one frame; corruption becomes a retryable
+        :class:`WorkerFailure` (the simulation is fine — only this copy
+        of its result was lost in transport)."""
+        assert self._session is not None
+        try:
+            return self._session.reader.read(handle)
+        except FrameCorruptionError as error:
+            raise WorkerFailure.wrap(
+                handle.key, self.run_id, spec.describe(), error
+            ) from None
 
     def _fail(
         self,
@@ -291,7 +443,14 @@ class Executor:
 
     def _journal_completed(self, key: str, source: str, elapsed: float) -> None:
         if self.journal is not None:
-            self.journal.completed(key, self.run_id, source, elapsed)
+            transport = None
+            if source != SOURCE_CACHE:
+                transport = (
+                    TRANSPORT_SHM if self._session is not None else "pickle"
+                )
+            self.journal.completed(
+                key, self.run_id, source, elapsed, transport=transport
+            )
 
     def _backoff(self, key: str, attempt: int) -> None:
         delay = self.retry.backoff(key, attempt)
@@ -304,7 +463,7 @@ class Executor:
     def _run_serial(
         self,
         pending: Sequence[tuple[str, RunSpec]],
-        by_key: dict[str, SimulationResult],
+        sink: _WaveSink,
         failures: list[RunFailure],
     ) -> None:
         for key, spec in pending:
@@ -312,9 +471,22 @@ class Executor:
             while True:
                 self._journal_submitted(key, spec, attempt)
                 try:
-                    result, elapsed = _guarded_execute(
-                        spec, self.run_id, attempt, self.chaos, in_worker=False
-                    )
+                    if self._session is not None:
+                        # Explicit shm with jobs == 1: round-trip the
+                        # result through a real frame in-process, so the
+                        # encode/decode path is exercised (and parity-
+                        # testable) without a pool.
+                        handle = _guarded_execute_frame(
+                            spec, self.run_id, attempt,
+                            self._session.directory, self.chaos,
+                            in_worker=False,
+                        )
+                        result, elapsed = self._decode(spec, handle)
+                    else:
+                        result, elapsed = _guarded_execute(
+                            spec, self.run_id, attempt, self.chaos,
+                            in_worker=False,
+                        )
                 except WorkerFailure as error:
                     if self.retry.should_retry(error, attempt):
                         self.retried += 1
@@ -324,7 +496,7 @@ class Executor:
                     self._fail(key, spec, error, attempt, failures)
                     break
                 self._complete(
-                    key, spec, result, elapsed, SOURCE_SERIAL, by_key
+                    key, spec, result, elapsed, SOURCE_SERIAL, sink
                 )
                 break
 
@@ -334,7 +506,7 @@ class Executor:
     def _run_pool(
         self,
         pending: Sequence[tuple[str, RunSpec]],
-        by_key: dict[str, SimulationResult],
+        sink: _WaveSink,
         failures: list[RunFailure],
     ) -> None:
         """Fault-isolated parallel execution.
@@ -355,7 +527,7 @@ class Executor:
             round_items = list(queue)
             queue.clear()
             try:
-                self._pool_round(round_items, by_key, failures, queue)
+                self._pool_round(round_items, sink, failures, queue)
             except SweepFailure:
                 raise  # fail-fast propagates out of the wave
             except BrokenProcessPool as error:
@@ -363,7 +535,7 @@ class Executor:
                 # time): everything still queued for this round is a
                 # transient casualty of the same worker death.
                 for key, spec, attempt in round_items:
-                    if key in by_key:
+                    if key in sink:
                         continue
                     self._requeue_or_fail(
                         key, spec, attempt, error, queue, failures
@@ -372,7 +544,7 @@ class Executor:
     def _pool_round(
         self,
         items: list[tuple[str, RunSpec, int]],
-        by_key: dict[str, SimulationResult],
+        sink: _WaveSink,
         failures: list[RunFailure],
         queue: deque[tuple[str, RunSpec, int]],
     ) -> None:
@@ -382,9 +554,16 @@ class Executor:
         try:
             for key, spec, attempt in items:
                 self._journal_submitted(key, spec, attempt)
-                future = pool.submit(
-                    _guarded_execute, spec, self.run_id, attempt, self.chaos
-                )
+                if self._session is not None:
+                    future = pool.submit(
+                        _guarded_execute_frame, spec, self.run_id, attempt,
+                        self._session.directory, self.chaos,
+                    )
+                else:
+                    future = pool.submit(
+                        _guarded_execute, spec, self.run_id, attempt,
+                        self.chaos,
+                    )
                 inflight[future] = _Flight(key, spec, attempt)
             while inflight:
                 done, _ = wait(
@@ -395,21 +574,21 @@ class Executor:
                 broken = False
                 for future in done:
                     flight = inflight.pop(future)
-                    broken |= self._harvest(future, flight, by_key, queue,
+                    broken |= self._harvest(future, flight, sink, queue,
                                             failures)
                 if broken:
                     # A worker died: every remaining future is (or will
                     # be) poisoned with BrokenProcessPool.  Drain what
                     # already finished, classify the rest as transient
                     # casualties, and end the round for a fresh pool.
-                    self._drain_broken(inflight, by_key, queue, failures)
+                    self._drain_broken(inflight, sink, queue, failures)
                     return
                 if self._expire_deadlines(inflight, queue, failures):
                     # A spec blew its wall-clock budget.  The stuck
                     # worker cannot be cancelled individually, so the
                     # round's workers are terminated and replaced; other
                     # in-flight specs re-queue without burning attempts.
-                    self._abandon_round(pool, inflight, by_key, queue,
+                    self._abandon_round(pool, inflight, sink, queue,
                                         failures)
                     replaced_workers = True
                     return
@@ -422,7 +601,7 @@ class Executor:
         self,
         future: Future,
         flight: _Flight,
-        by_key: dict[str, SimulationResult],
+        sink: _WaveSink,
         queue: deque[tuple[str, RunSpec, int]],
         failures: list[RunFailure],
     ) -> bool:
@@ -432,9 +611,22 @@ class Executor:
             return False
         error = future.exception()
         if error is None:
-            result, elapsed = future.result()
+            payload = future.result()
+            if isinstance(payload, FrameHandle):
+                try:
+                    result, elapsed = self._decode(flight.spec, payload)
+                except WorkerFailure as decode_error:
+                    # The frame failed verification: a transport loss,
+                    # re-attempted like any transient fault.
+                    self._requeue_or_fail(
+                        flight.key, flight.spec, flight.attempt,
+                        decode_error, queue, failures,
+                    )
+                    return False
+            else:
+                result, elapsed = payload
             self._complete(
-                flight.key, flight.spec, result, elapsed, SOURCE_POOL, by_key
+                flight.key, flight.spec, result, elapsed, SOURCE_POOL, sink
             )
             return False
         self._requeue_or_fail(
@@ -461,7 +653,7 @@ class Executor:
     def _drain_broken(
         self,
         inflight: dict[Future, _Flight],
-        by_key: dict[str, SimulationResult],
+        sink: _WaveSink,
         queue: deque[tuple[str, RunSpec, int]],
         failures: list[RunFailure],
     ) -> None:
@@ -474,7 +666,7 @@ class Executor:
         """
         for future, flight in list(inflight.items()):
             if future.done():
-                self._harvest(future, flight, by_key, queue, failures)
+                self._harvest(future, flight, sink, queue, failures)
             else:
                 self._requeue_or_fail(
                     flight.key,
@@ -531,14 +723,14 @@ class Executor:
         self,
         pool: ProcessPoolExecutor,
         inflight: dict[Future, _Flight],
-        by_key: dict[str, SimulationResult],
+        sink: _WaveSink,
         queue: deque[tuple[str, RunSpec, int]],
         failures: list[RunFailure],
     ) -> None:
         """Salvage and re-queue around a worker-replacing teardown."""
         for future, flight in list(inflight.items()):
             if future.done():
-                self._harvest(future, flight, by_key, queue, failures)
+                self._harvest(future, flight, sink, queue, failures)
             else:
                 # Not timed out itself: a casualty of the teardown, so
                 # its attempt is not burned.

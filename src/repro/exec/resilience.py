@@ -341,17 +341,26 @@ class RunJournal:
         )
 
     def completed(
-        self, key: str, run_id: str, source: str, elapsed: float
+        self,
+        key: str,
+        run_id: str,
+        source: str,
+        elapsed: float,
+        transport: Optional[str] = None,
     ) -> None:
-        self.append(
-            {
-                "event": "completed",
-                "key": key,
-                "run_id": run_id,
-                "source": source,
-                "elapsed": round(elapsed, 6),
-            }
-        )
+        record = {
+            "event": "completed",
+            "key": key,
+            "run_id": run_id,
+            "source": source,
+            "elapsed": round(elapsed, 6),
+        }
+        # Recorded for post-mortem only: replay ignores it, and a
+        # journal written under one transport resumes under another
+        # (transport never changes result bytes).
+        if transport is not None:
+            record["transport"] = transport
+        self.append(record)
 
     def failed(self, failure: RunFailure, run_id: str) -> None:
         self.append(

@@ -1,0 +1,158 @@
+"""Streaming figure accumulators: fold sweeps into metrics cells.
+
+The multiprogram figures (10-16) and the policy matrix are all the same
+shape: a *cell* — one program mix under one policy — needs the mix run
+plus each program's stand-alone reference run, and everything the figure
+keeps from those results is a tiny :class:`CellMetrics`.  The
+:class:`StreamedMetricsSweep` reducer computes each cell's metrics the
+moment its last run completes and lets the executor drop the result
+bytes immediately, so a sweep's parent footprint is bounded by the
+widest in-flight cell frontier instead of the wave.
+
+The contract (enforced by the property suite in
+``tests/test_streaming.py``): for any completion order, any retry
+schedule, and any subset of failed specs, the accumulator's final state
+is identical to materializing the whole wave and computing the same
+cells afterwards.  Cells are keyed by caller-chosen ids and all rollups
+happen at finalize time, so nothing observable depends on arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.exec.resilience import RunFailure
+from repro.exec.spec import RunSpec
+from repro.exec.streaming import GroupReducer
+from repro.sim.metrics import WorkloadMetrics
+from repro.sim.results import SimulationResult
+
+if TYPE_CHECKING:  # runner imports this module; avoid the cycle at runtime
+    from repro.common.config import SystemConfig
+    from repro.experiments.runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class CellMetrics:
+    """Everything a figure keeps from one (mix, policy) cell.
+
+    :class:`WorkloadMetrics` plus the two mix-run scalars the policy
+    matrix reports — captured at fold time precisely so the full
+    :class:`SimulationResult` never needs to be retained or re-fetched.
+    """
+
+    metrics: WorkloadMetrics
+    total_swaps: int
+    stc_hit_rate: float
+
+    @classmethod
+    def from_results(
+        cls, multi: SimulationResult, single_ipcs: Sequence[float]
+    ) -> "CellMetrics":
+        return cls(
+            metrics=WorkloadMetrics.from_results(multi, list(single_ipcs)),
+            total_swaps=multi.total_swaps,
+            stc_hit_rate=multi.stc_hit_rate,
+        )
+
+
+@dataclass(frozen=True)
+class _CellPlan:
+    """How to turn one completed group back into a cell."""
+
+    mix_key: str
+    #: program name -> stand-alone reference run's cache key.
+    alone_keys: dict[str, str]
+    reference: str
+
+
+class StreamedMetricsSweep(GroupReducer):
+    """Folds a figure sweep into :class:`CellMetrics`, one per cell.
+
+    Usage: call :meth:`add_cell` once per (mix, policy) cell — it
+    consults the runner's metrics memo (so repeated figures over the
+    same cells cost nothing) and returns the specs the cell still needs
+    — then hand the accumulated spec list and this reducer to
+    :meth:`ExperimentRunner.run_streamed`.  Afterwards ``metrics`` holds
+    every cell that completed and ``failed`` every cell that lost a run
+    to a terminal failure.
+    """
+
+    def __init__(self, runner: "ExperimentRunner") -> None:
+        super().__init__()
+        self.runner = runner
+        #: cell id -> computed metrics (completed cells only).
+        self.metrics: dict[str, WorkloadMetrics] = {}
+        #: cell id -> full cell record (adds the mix-run scalars).
+        self.cells: dict[str, CellMetrics] = {}
+        #: cell id -> the failure that sank it.
+        self.failed: dict[str, RunFailure] = {}
+        self._plans: dict[str, _CellPlan] = {}
+
+    def add_cell(
+        self,
+        cell_id: str,
+        programs: Sequence[str],
+        policy: str,
+        config: Optional["SystemConfig"] = None,
+    ) -> list[RunSpec]:
+        """Declare one cell; returns the specs it still needs run.
+
+        A memo hit (this runner already computed the cell, streamed or
+        not) records the cell immediately and returns no specs.
+        Duplicate cell ids are idempotent no-ops.
+        """
+        if (
+            cell_id in self.metrics
+            or cell_id in self._plans
+            or cell_id in self.failed
+        ):
+            return []
+        runner = self.runner
+        config = config if config is not None else runner.quad_config()
+        reference = runner.sp_reference or policy
+        mix_spec = runner.spec_mix(programs, policy, config)
+        cached = runner.cached_cell(mix_spec, reference)
+        if cached is not None:
+            self.metrics[cell_id] = cached.metrics
+            self.cells[cell_id] = cached
+            return []
+        alone_specs = {
+            program: runner.spec_alone(program, reference, config)
+            for program in dict.fromkeys(programs)
+        }
+        plan = _CellPlan(
+            mix_key=mix_spec.cache_key(),
+            alone_keys={
+                program: spec.cache_key()
+                for program, spec in alone_specs.items()
+            },
+            reference=reference,
+        )
+        self._plans[cell_id] = plan
+        # May resolve (or fail) synchronously when another cell already
+        # delivered every key, so the plan must be registered first.
+        self.add_group(cell_id, [plan.mix_key, *plan.alone_keys.values()])
+        return [mix_spec, *alone_specs.values()]
+
+    # ------------------------------------------------------------------
+    # GroupReducer hooks
+    # ------------------------------------------------------------------
+    def group_completed(
+        self, group_id: str, results: dict[str, SimulationResult]
+    ) -> None:
+        plan = self._plans.pop(group_id)
+        multi = results[plan.mix_key]
+        single_ipcs = [
+            results[plan.alone_keys[program.name]].program(0).ipc
+            for program in multi.programs
+        ]
+        cell = CellMetrics.from_results(multi, single_ipcs)
+        self.metrics[group_id] = cell.metrics
+        self.cells[group_id] = cell
+        self.runner.remember_cell(plan.mix_key, plan.reference, cell)
+
+    def group_failed(self, group_id: str, failure: RunFailure) -> None:
+        self._plans.pop(group_id, None)
+        self.failed[group_id] = failure

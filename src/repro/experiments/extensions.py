@@ -19,7 +19,11 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from typing import Optional, Sequence
+
 from repro.common.stats import geomean
+from repro.exec import format_failure_table
+from repro.experiments.accumulators import StreamedMetricsSweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import ExperimentRunner
 from repro.policies.registry import (
@@ -28,7 +32,7 @@ from repro.policies.registry import (
     iter_registered,
 )
 from repro.workloads.generator import random_mixes
-from repro.workloads.table10 import FAIRNESS_DETAIL_WORKLOADS
+from repro.workloads.table10 import FAIRNESS_DETAIL_WORKLOADS, WORKLOADS
 
 #: The contended Table 10 workload every matrix cell runs on.
 MATRIX_WORKLOAD = "w09"
@@ -213,6 +217,29 @@ def run_prediction_accuracy(runner: ExperimentRunner) -> ExperimentResult:
     )
 
 
+def _streamed_matrix_cells(
+    runner: ExperimentRunner, cells: Sequence[PolicySpec]
+) -> Optional[StreamedMetricsSweep]:
+    """Run the matrix as one streamed wave; None for legacy stubs.
+
+    One accumulator cell per canonical policy on :data:`MATRIX_WORKLOAD`;
+    the mix-run scalars the table reports (swaps, STC hit rate) are
+    captured at fold time, so the full results are never retained.
+    """
+    if not hasattr(runner, "run_streamed"):
+        return None
+    accumulator = StreamedMetricsSweep(runner)
+    wave: list = []
+    for cell in cells:
+        wave.extend(
+            accumulator.add_cell(
+                cell.canonical(), WORKLOADS[MATRIX_WORKLOAD], cell.canonical()
+            )
+        )
+    runner.run_streamed(wave, accumulator)
+    return accumulator
+
+
 def run_policy_matrix(runner: ExperimentRunner) -> ExperimentResult:
     """Cross-product policy/axis sweep on one contended workload (w09).
 
@@ -228,27 +255,37 @@ def run_policy_matrix(runner: ExperimentRunner) -> ExperimentResult:
         cells = tuple(PolicySpec.parse(spec) for spec in restricted)
     else:
         cells = matrix_cells()
-    if hasattr(runner, "workload_metric_specs"):
-        wave = []
-        for cell in cells:
-            wave.extend(
-                runner.workload_metric_specs(
-                    MATRIX_WORKLOAD, cell.canonical()
-                )
-            )
-        runner.prefetch(wave)
+    streamed = _streamed_matrix_cells(runner, cells)
     rows = []
     speedups_by_axis: dict[str, dict[str, list[float]]] = {
         "base": {},
         "guidance": {},
         "stc": {},
     }
+    failed_cells = 0
     for cell in cells:
         policy = cell.canonical()
-        metrics = runner.workload_metrics(MATRIX_WORKLOAD, policy)
-        result = runner.run_workload(MATRIX_WORKLOAD, policy)
         guidance = "rsm" if cell.guidance else "-"
         stc = cell.stc_replacement or "lru"
+        if streamed is not None:
+            record = streamed.cells.get(policy)
+            if record is None:
+                # The cell lost a run after retries: a FAILED row, never
+                # a figure abort (the failure table lands in the notes).
+                rows.append(
+                    [policy, cell.base, guidance, stc,
+                     "FAILED", "FAILED", "-", "-", "-"]
+                )
+                failed_cells += 1
+                continue
+            metrics = record.metrics
+            total_swaps = record.total_swaps
+            stc_hit_rate = record.stc_hit_rate
+        else:
+            metrics = runner.workload_metrics(MATRIX_WORKLOAD, policy)
+            result = runner.run_workload(MATRIX_WORKLOAD, policy)
+            total_swaps = result.total_swaps
+            stc_hit_rate = result.stc_hit_rate
         rows.append(
             [
                 policy,
@@ -257,8 +294,8 @@ def run_policy_matrix(runner: ExperimentRunner) -> ExperimentResult:
                 stc,
                 metrics.weighted_speedup,
                 metrics.unfairness,
-                result.total_swaps,
-                result.stc_hit_rate,
+                total_swaps,
+                stc_hit_rate,
                 metrics.energy_efficiency,
             ]
         )
@@ -276,6 +313,13 @@ def run_policy_matrix(runner: ExperimentRunner) -> ExperimentResult:
             continue  # a --policy restriction collapsed this axis
         for value, speedups in groups.items():
             summary[f"geomean WS [{axis}={value}]"] = geomean(speedups)
+    notes = (
+        "Cells derive from the composable policy registry; the lru "
+        "column shares cache entries with the plain-policy suite."
+    )
+    if failed_cells:
+        table = format_failure_table(runner.failures)
+        notes = f"{notes}\n\n{table}"
     return ExperimentResult(
         experiment_id="ext-policy-matrix",
         title=(
@@ -295,8 +339,5 @@ def run_policy_matrix(runner: ExperimentRunner) -> ExperimentResult:
         ],
         rows=rows,
         summary=summary,
-        notes=(
-            "Cells derive from the composable policy registry; the lru "
-            "column shares cache entries with the plain-policy suite."
-        ),
+        notes=notes,
     )

@@ -19,10 +19,11 @@ from typing import Callable, Sequence
 from repro.analysis.plotting import hbar_chart
 from repro.analysis.report import normalized_series_summary
 from repro.exec import format_failure_table
+from repro.experiments.accumulators import StreamedMetricsSweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import ExperimentRunner
 from repro.sim.metrics import WorkloadMetrics
-from repro.workloads.table10 import WORKLOAD_NAMES
+from repro.workloads.table10 import WORKLOAD_NAMES, WORKLOADS
 
 
 def sweep(
@@ -33,13 +34,53 @@ def sweep(
     """metrics[workload][policy] for the requested schemes.
 
     The entire sweep — every workload x policy run plus the stand-alone
-    reference runs — is prefetched as one batch, so with ``jobs > 1``
-    the whole figure simulates in parallel.
+    reference runs — runs as one *streamed* wave (DESIGN.md §17): each
+    (workload, policy) cell's metrics are computed the moment its runs
+    complete and the results are dropped, so with ``jobs > 1`` the whole
+    figure simulates in parallel while the parent holds metrics cells,
+    never the wave.
 
     Workloads whose runs failed (after the executor's retries) are
     omitted from the returned dict rather than raising; callers can
     compare against the requested ``workloads`` list and consult
     ``runner.failures`` for the cause.
+    """
+    if not hasattr(runner, "run_streamed"):
+        return _materialized_sweep(runner, policies, workloads)
+    accumulator = StreamedMetricsSweep(runner)
+    wave: list = []
+    for name in workloads:
+        for policy in policies:
+            wave.extend(
+                accumulator.add_cell(
+                    f"{name}|{policy}", WORKLOADS[name], policy
+                )
+            )
+    runner.run_streamed(wave, accumulator)
+    metrics: dict[str, dict[str, WorkloadMetrics]] = {}
+    for name in workloads:
+        per_policy = {
+            policy: accumulator.metrics[f"{name}|{policy}"]
+            for policy in policies
+            if f"{name}|{policy}" in accumulator.metrics
+        }
+        # Same contract as always: a workload with *any* failed run is
+        # omitted entirely (partial rows would skew the normalization).
+        if len(per_policy) == len(policies):
+            metrics[name] = per_policy
+    return metrics
+
+
+def _materialized_sweep(
+    runner: ExperimentRunner,
+    policies: Sequence[str],
+    workloads: Sequence[str],
+) -> dict[str, dict[str, WorkloadMetrics]]:
+    """The guaranteed-identical fallback: prefetch, then reduce.
+
+    Used for runner stand-ins that predate streaming (duck-typed test
+    stubs); the property suite asserts its output matches the streamed
+    path cell for cell.
     """
     specs_by_workload = {
         name: [

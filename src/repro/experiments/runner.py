@@ -43,6 +43,8 @@ from repro.exec import (
 )
 from repro.exec.resilience import JournalState
 from repro.exec.spec import workload_traces as _workload_traces
+from repro.exec.streaming import WaveReducer
+from repro.experiments.accumulators import CellMetrics
 from repro.policies.registry import canonical_policy
 from repro.sim.metrics import WorkloadMetrics
 from repro.sim.results import SimulationResult
@@ -77,6 +79,7 @@ class ExperimentRunner:
         run_timeout: Optional[float] = None,
         fail_fast: bool = False,
         resume: bool = False,
+        transport: str = "auto",
     ) -> None:
         self.scale = scale
         self.multi_requests = multi_requests
@@ -127,6 +130,10 @@ class ExperimentRunner:
         self.resume_state: Optional[JournalState] = (
             self.journal.replay() if resume and self.journal else None
         )
+        #: Result transport ("auto"/"pickle"/"shm"), forwarded to the
+        #: executor.  Like mem_backend: an execution detail, excluded
+        #: from cache keys, byte-identical by contract.
+        self.transport = transport
         self.executor = Executor(
             jobs=jobs,
             cache=self.cache,
@@ -135,10 +142,20 @@ class ExperimentRunner:
             run_timeout=run_timeout,
             journal=self.journal,
             fail_fast=fail_fast,
+            transport=transport,
         )
         self._memory: dict[str, SimulationResult] = {}
         #: Batch requests served from the in-process memo.
         self.memory_hits = 0
+        #: Computed figure cells, keyed by (mix cache key, reference
+        #: policy).  A CellMetrics is a few floats, so this memo can hold
+        #: an entire multi-figure session — it is what lets a streamed
+        #: fig10 feed fig11..15 without re-simulating (or re-reading the
+        #: disk cache for) a single run, even though streamed waves never
+        #: memoize full results.
+        self._metrics_memory: dict[tuple[str, str], CellMetrics] = {}
+        #: Cells served from the metrics memo.
+        self.metrics_memory_hits = 0
 
     # ------------------------------------------------------------------
     # Configurations
@@ -312,6 +329,51 @@ class ExperimentRunner:
             if result is not None:
                 self._memory[key] = result
 
+    def run_streamed(
+        self, specs: Sequence[RunSpec], reducer: WaveReducer
+    ) -> None:
+        """Run a wave through a streaming reducer (DESIGN.md §17).
+
+        The memory-bounded counterpart of :meth:`prefetch`: each unique
+        spec's result is folded into ``reducer`` exactly once as it
+        completes — from the in-process memo immediately, from the disk
+        cache or a simulation as the executor delivers it — and is *not*
+        memoized afterwards, so parent memory scales with the reducer's
+        frontier instead of the wave.  Terminal failures fold through
+        ``reducer.fold_failure``; like :meth:`prefetch`, they never
+        abort the wave.
+        """
+        fresh: dict[str, RunSpec] = {}
+        folded: set[str] = set()
+        for spec in specs:
+            key = spec.cache_key()
+            if key in fresh or key in folded:
+                continue
+            held = self._memory.get(key)
+            if held is not None:
+                self.memory_hits += 1
+                folded.add(key)
+                reducer.fold(key, spec, held)
+            else:
+                fresh[key] = spec
+        if fresh:
+            self.executor.run_wave(list(fresh.values()), reducer=reducer)
+
+    def cached_cell(
+        self, mix_spec: RunSpec, reference: str
+    ) -> Optional[CellMetrics]:
+        """This runner's memoized cell for (mix run, reference policy)."""
+        cell = self._metrics_memory.get((mix_spec.cache_key(), reference))
+        if cell is not None:
+            self.metrics_memory_hits += 1
+        return cell
+
+    def remember_cell(
+        self, mix_key: str, reference: str, cell: CellMetrics
+    ) -> None:
+        """Memoize one computed cell (streamed accumulators call this)."""
+        self._metrics_memory[(mix_key, reference)] = cell
+
     def _on_run(self, event: RunEvent) -> None:
         if self.verbose:
             spec = event.spec
@@ -407,15 +469,21 @@ class ExperimentRunner:
     ) -> WorkloadMetrics:
         """Metrics for an arbitrary program mix (not from Table 10)."""
         config = config or self.quad_config()
+        reference = self.sp_reference or policy
+        mix_spec = self.spec_mix(programs, policy, config)
+        cell = self.cached_cell(mix_spec, reference)
+        if cell is not None:
+            return cell.metrics
         specs = self.metric_specs(programs, policy, config)
         self.prefetch(specs)
         multi = self.execute(specs[0])
-        reference = self.sp_reference or policy
         single_ipcs = [
             self.run_alone_in_quad(p.name, reference, config).program(0).ipc
             for p in multi.programs
         ]
-        return WorkloadMetrics.from_results(multi, single_ipcs)
+        cell = CellMetrics.from_results(multi, single_ipcs)
+        self.remember_cell(mix_spec.cache_key(), reference, cell)
+        return cell.metrics
 
     def workload_metrics(
         self,

@@ -254,6 +254,127 @@ class TestMarkdownSummary:
         assert ":warning:" in text
 
 
+def _sweep_payload(**overrides):
+    payload = {
+        "schema_version": 1,
+        "kind": "sweep",
+        "spec_count": 200,
+        "jobs": 4,
+        "transport": "shm",
+        "requests_per_sec": 10_000.0,
+        "peak_rss_mb": 40.0,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestSweepGate:
+    def test_passes_within_both_bounds(self):
+        from repro.perf.sweep_bench import compare_sweep_to_baseline
+
+        current = _sweep_payload(
+            requests_per_sec=7_000.0, peak_rss_mb=56.0
+        )
+        assert compare_sweep_to_baseline(current, _sweep_payload()) == []
+
+    def test_fails_below_throughput_floor(self):
+        from repro.perf.sweep_bench import compare_sweep_to_baseline
+
+        current = _sweep_payload(requests_per_sec=6_900.0)
+        failures = compare_sweep_to_baseline(
+            current, _sweep_payload(), min_ratio=0.7
+        )
+        assert len(failures) == 1
+        assert "throughput" in failures[0]
+
+    def test_fails_above_rss_ceiling(self):
+        from repro.perf.sweep_bench import compare_sweep_to_baseline
+
+        current = _sweep_payload(peak_rss_mb=57.0)
+        failures = compare_sweep_to_baseline(
+            current, _sweep_payload(), max_rss_ratio=1.4
+        )
+        assert len(failures) == 1
+        assert "peak RSS" in failures[0]
+
+    def test_spec_count_mismatch_fails_fast(self):
+        from repro.perf.sweep_bench import compare_sweep_to_baseline
+
+        current = _sweep_payload(
+            spec_count=100, requests_per_sec=1.0, peak_rss_mb=1e9
+        )
+        failures = compare_sweep_to_baseline(current, _sweep_payload())
+        assert len(failures) == 1
+        assert "mismatch" in failures[0]
+
+    def test_missing_rss_skips_only_the_rss_check(self):
+        # A platform without the resource module reports peak_rss_mb 0;
+        # the throughput floor must still gate.
+        from repro.perf.sweep_bench import compare_sweep_to_baseline
+
+        current = _sweep_payload(requests_per_sec=1.0, peak_rss_mb=0.0)
+        failures = compare_sweep_to_baseline(current, _sweep_payload())
+        assert len(failures) == 1
+        assert "throughput" in failures[0]
+
+    def test_checked_in_baseline_is_comparable(self):
+        # The real CI baseline must parse and be self-consistent with
+        # the gate's expectations (spec_count present, positive bounds).
+        import pathlib
+
+        from repro.perf.sweep_bench import compare_sweep_to_baseline
+
+        baseline = json.loads(
+            (
+                pathlib.Path(__file__).parent.parent
+                / "benchmarks/baselines/sweep_rss_baseline.json"
+            ).read_text()
+        )
+        assert baseline["spec_count"] == 200
+        assert baseline["requests_per_sec"] > 0
+        assert baseline["peak_rss_mb"] > 0
+        # A run exactly at the baseline passes its own gate.
+        assert compare_sweep_to_baseline(baseline, baseline) == []
+
+    def test_markdown_summary_rows(self):
+        from repro.perf.sweep_bench import sweep_markdown_summary
+
+        current = _sweep_payload(
+            requests_per_sec=15_000.0, peak_rss_mb=30.0, wall_seconds=4.0
+        )
+        text = sweep_markdown_summary(current, _sweep_payload())
+        assert "| requests/sec | 15,000 | 10,000 | 1.50x |" in text
+        assert "| parent peak RSS (MiB) | 30.0 | 40.0 | 0.75x |" in text
+
+    def test_markdown_summary_without_baseline(self):
+        from repro.perf.sweep_bench import sweep_markdown_summary
+
+        text = sweep_markdown_summary(_sweep_payload(failed=2))
+        assert "—" in text
+        assert "2 spec(s) failed" in text
+
+    def test_peak_rss_is_positive_here(self):
+        from repro.perf.sweep_bench import peak_rss_mb
+
+        assert peak_rss_mb() > 0
+
+
+class TestSweepBenchmark:
+    def test_tiny_sweep_end_to_end(self):
+        from repro.perf.sweep_bench import (
+            build_sweep_specs,
+            run_sweep_benchmark,
+        )
+
+        specs = build_sweep_specs(8)
+        assert len({spec.cache_key() for spec in specs}) == 8
+        payload = run_sweep_benchmark(count=4, jobs=1, transport="pickle")
+        assert payload["completed"] == 4
+        assert payload["failed"] == 0
+        assert payload["total_requests"] > 0
+        assert payload["requests_per_sec"] > 0
+
+
 class TestDecodeBenchmark:
     def test_quick_payload_shape_and_equivalence(self):
         payload = run_decode_benchmark(quick=True, repeats=1)
